@@ -1,0 +1,96 @@
+"""Ablation — pooling-based load balancing vs static assignment, under
+EC2 performance variability.
+
+Section III-B: "the pooling based job distribution enables fairness in
+load balancing ... slave nodes that have higher throughput would naturally
+be ensured to process more jobs"; Section IV-B: the pooling design "helps
+normalizing these unpredictable performance changes" of virtualized EC2.
+
+This bench quantifies both statements: it sweeps the EC2 jitter sigma and
+runs each point twice — with the paper's on-demand pooling, and with a
+static round-robin pre-partition of the job pool (no stealing, no
+rate-matching). Pooling's advantage should exist at every sigma and grow
+with it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import env_config
+from repro.bench.reporting import render_table
+from repro.cluster.variability import VariabilityModel
+from repro.sim.calibration import PAPER_CALIBRATION
+from repro.sim.simulation import CloudBurstSimulation
+
+from conftest import print_block
+
+SIGMAS = (0.0, 0.12, 0.3, 0.5)
+
+
+def _run(app: str, env: str, sigma: float | None, static: bool) -> float:
+    calibration = PAPER_CALIBRATION
+    if sigma is not None:
+        calibration = calibration.with_changes(
+            cloud_variability=VariabilityModel(sigma=sigma)
+        )
+    config = env_config(app, env)
+    sim = CloudBurstSimulation(config, calibration, static_assignment=static)
+    return sim.run().makespan
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_pooling_vs_static_under_jitter(benchmark):
+    """Balanced placement: static matches pooling when the clusters are
+    perfectly rate-matched, and falls behind as EC2 jitter grows —
+    pooling 'normalizes unpredictable performance changes'."""
+
+    def sweep():
+        return {
+            sigma: (
+                _run("kmeans", "env-50/50", sigma, static=False),
+                _run("kmeans", "env-50/50", sigma, static=True),
+            )
+            for sigma in SIGMAS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for sigma, (pooled, static) in results.items():
+        gap = (static / pooled - 1) * 100
+        rows.append((f"{sigma:.2f}", f"{pooled:.1f}", f"{static:.1f}",
+                     f"{gap:+.1f}%"))
+    print_block(
+        "Pooling vs static assignment under EC2 jitter (kmeans, env-50/50)\n"
+        + render_table(
+            ("EC2 sigma", "pooling (s)", "static (s)", "static penalty"), rows
+        )
+    )
+    # When everything is balanced and calm, static is competitive (it may
+    # even edge out pooling's end-game noise slightly)...
+    calm_gap = results[SIGMAS[0]][1] / results[SIGMAS[0]][0]
+    assert 0.95 < calm_gap < 1.05, calm_gap
+    # ...but its penalty grows with variability: stragglers can't shed work.
+    gaps = [results[s][1] / results[s][0] for s in SIGMAS]
+    assert gaps[-1] > gaps[0] + 0.01, gaps
+    assert gaps[-1] > 1.02, gaps
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_pooling_vs_static_under_skew(benchmark):
+    """Skewed placement: a static 50/50 job split cannot react to the WAN
+    costs of stolen chunks; on-demand pooling re-rates the clusters and
+    wins outright (knn, env-17/83)."""
+
+    def both():
+        return (
+            _run("knn", "env-17/83", None, static=False),
+            _run("knn", "env-17/83", None, static=True),
+        )
+
+    pooled, static = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_block(
+        f"knn env-17/83: pooling {pooled:.1f}s vs static split {static:.1f}s "
+        f"({(static / pooled - 1) * 100:+.1f}%)"
+    )
+    assert static > pooled * 1.05, (pooled, static)

@@ -1,0 +1,39 @@
+"""Ablation — multi-threaded chunk retrieval (Section III-B).
+
+The paper's slaves open multiple retrieval threads because one S3
+connection is bandwidth-capped. This bench sweeps connections per slave on
+env-cloud (all data in S3, all compute on EC2) and shows throughput
+scaling until the site trunk saturates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_retrieval_ablation
+from repro.bench.reporting import render_table
+
+from conftest import print_block
+
+THREADS = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_retrieval_threads_ablation(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_retrieval_ablation("knn", "env-cloud", THREADS),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for n in THREADS:
+        report = out[n]
+        cluster = report.cluster("cloud-cluster")
+        rows.append((n, f"{cluster.mean_retrieval:.1f}", f"{report.makespan:.1f}"))
+    print_block(
+        "Retrieval-connection sweep (knn, env-cloud)\n"
+        + render_table(("connections", "mean retrieval (s)", "makespan (s)"), rows)
+    )
+    # Scaling region: 1 -> 4 connections cuts retrieval substantially.
+    assert out[1].makespan > out[4].makespan * 1.5
+    # Saturation region: 8 -> 16 changes little (trunk-bound).
+    assert abs(out[8].makespan - out[16].makespan) < 0.15 * out[8].makespan

@@ -1,0 +1,42 @@
+"""Ablation — reduction-object size (Section IV-B's feasibility warning).
+
+"If the reduction object size increases relative to input data size, it
+may not be feasible to use cloud bursting due to the increasing costs of
+transferring the reduction object." This bench sweeps the object size on
+the pagerank profile in env-50/50 and shows the global-reduction cost
+growing from negligible to dominant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_robj_ablation
+from repro.bench.reporting import render_table
+
+from conftest import print_block
+
+SIZES_MB = (1, 30, 100, 300, 1000)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_robj_size_ablation(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_robj_ablation("pagerank", "env-50/50", SIZES_MB),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (f"{mb} MB", f"{out[mb].global_reduction:.2f}", f"{out[mb].makespan:.1f}")
+        for mb in SIZES_MB
+    ]
+    print_block(
+        "Reduction-object size sweep (pagerank profile, env-50/50)\n"
+        + render_table(("robj size", "global reduction (s)", "makespan (s)"), rows)
+    )
+    gr = [out[mb].global_reduction for mb in SIZES_MB]
+    assert all(a < b for a, b in zip(gr, gr[1:])), gr  # strictly growing
+    # WAN push dominates at 1 GB: minutes of pure transfer.
+    assert out[1000].global_reduction > 60.0
+    assert out[1].global_reduction < 1.0
+    # The paper's 300 MB case: tens of seconds.
+    assert 10.0 < out[300].global_reduction < 120.0

@@ -1,0 +1,45 @@
+"""Ablation — the head scheduler's two heuristics (Section III-B).
+
+* **Consecutive job assignment**: groups of consecutive chunks keep the
+  storage node streaming; scattered assignment forces seeks and the
+  random-read penalty.
+* **Minimum-contention stealing**: stolen jobs are drawn from the file
+  the fewest nodes are reading, spreading WAN fetches across per-file
+  service limits.
+
+Both are evaluated at env-17/83 (maximum stealing) for knn (maximum
+retrieval sensitivity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_scheduling_ablation
+from repro.bench.reporting import render_table
+
+from conftest import print_block
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_scheduling_heuristics_ablation(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_scheduling_ablation("knn", "env-17/83"), rounds=1, iterations=1
+    )
+    rows = [
+        (label, f"{report.makespan:.1f}",
+         f"{(report.makespan / out['baseline'].makespan - 1) * 100:+.1f}%")
+        for label, report in out.items()
+    ]
+    print_block(
+        "Scheduling-heuristic ablation (knn, env-17/83)\n"
+        + render_table(("variant", "makespan (s)", "vs baseline"), rows)
+    )
+    base = out["baseline"].makespan
+    # Dropping consecutive assignment costs local-disk streaming throughput.
+    assert out["no-consecutive"].makespan > base * 1.02
+    # Dropping min-contention stealing concentrates WAN readers on one file.
+    assert out["no-min-contention"].makespan > base * 1.005
+    # Both off is clearly worse than baseline (the two ablations interact,
+    # so it need not exceed the worst single one).
+    assert out["neither"].makespan > base * 1.015

@@ -1,0 +1,73 @@
+"""Ablation — intra-node reduction-object sharing (the FREERIDE trade).
+
+The middleware gives each slave a private reduction object and merges at
+the end (full replication). This bench measures the alternatives on a
+real multi-threaded execution — full locking (one shared object, one
+lock) and chunk-merge (private scratch merged per chunk) — and confirms
+the design choice: replication is fastest because nothing serializes,
+at the price of one object copy per worker; locking inverts the trade.
+(Timing assertions are loose: the point is the ordering, not the ratio.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import make_bundle
+from repro.bench.reporting import render_table
+from repro.core.shmem import ShmemStrategy, run_threaded
+
+from conftest import print_block
+
+TOTAL_UNITS = 65_536
+CHUNK_UNITS = 2048
+THREADS = 4
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_shmem_strategy_tradeoff(benchmark):
+    bundle = make_bundle("histogram", TOTAL_UNITS, bins=4096)
+    chunks = [
+        bundle.schema.encode(bundle.block_fn(start, CHUNK_UNITS, start))
+        for start in range(0, TOTAL_UNITS, CHUNK_UNITS)
+    ]
+
+    def sweep():
+        out = {}
+        for strategy in ShmemStrategy:
+            result, stats = run_threaded(
+                bundle.app, chunks, threads=THREADS, strategy=strategy,
+                units_per_group=512,
+            )
+            out[strategy] = (result, stats)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (s.value, f"{stats.wall_seconds * 1000:.1f} ms", stats.robj_copies,
+         stats.robj_bytes, stats.lock_acquisitions)
+        for s, (_r, stats) in results.items()
+    ]
+    print_block(
+        f"Intra-node reduction strategies (histogram, {THREADS} threads)\n"
+        + render_table(
+            ("strategy", "wall", "robj copies", "robj bytes", "lock acq."),
+            rows,
+        )
+    )
+    # Same answer from every strategy.
+    base = results[ShmemStrategy.FULL_REPLICATION][0]
+    for result, _stats in results.values():
+        np.testing.assert_array_equal(result, base)
+    # The memory/contention trade the middleware's choice is based on:
+    repl = results[ShmemStrategy.FULL_REPLICATION][1]
+    lock = results[ShmemStrategy.FULL_LOCKING][1]
+    merge = results[ShmemStrategy.CHUNK_MERGE][1]
+    assert repl.robj_copies > lock.robj_copies
+    assert repl.lock_acquisitions == 0 < lock.lock_acquisitions
+    # Full locking serializes every reduction; it is never faster than the
+    # contention-free strategies beyond noise.
+    fastest_free = min(repl.wall_seconds, merge.wall_seconds)
+    assert lock.wall_seconds > 0.5 * fastest_free

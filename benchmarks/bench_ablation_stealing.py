@@ -1,0 +1,67 @@
+"""Ablation — work stealing, the middleware's defining feature.
+
+The paper's system exists to relax classic Map-Reduce's co-location
+constraint: "to minimize the overall execution time, we allow for the
+possibility that the data at one end is processed using computing
+resources at another end, i.e., work stealing" (Section I). This bench
+switches stealing off — each cluster may only process data stored at its
+own site — and measures what the feature is worth at each data skew.
+
+Expected shape: at 50/50 the placement matches the compute split and
+stealing is worth little — it can even cost a few percent, because greedy
+end-of-run steals occasionally move a job onto the slower WAN path (the
+paper's own Table I shows zero steals at 50/50 for this reason); as skew
+grows, the no-stealing run strands the data-poor cluster while the
+data-rich one grinds alone, and the gap explodes (~+30% at 17/83).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import HYBRID_ENVS
+from repro.bench.experiments import run_stealing_ablation
+from repro.bench.reporting import render_table
+
+from conftest import print_block
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_work_stealing_value(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_stealing_ablation("knn", HYBRID_ENVS),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for env, (with_steal, without) in results.items():
+        local_idle = max(c.idle for c in without.clusters.values())
+        gain = (without.makespan / with_steal.makespan - 1) * 100
+        rows.append(
+            (env, f"{with_steal.makespan:.1f}", f"{without.makespan:.1f}",
+             f"{local_idle:.1f}", f"{gain:+.1f}%")
+        )
+    print_block(
+        "Work stealing on vs off (knn)\n"
+        + render_table(
+            ("env", "stealing (s)", "no stealing (s)",
+             "stranded idle (s)", "stealing gain"),
+            rows,
+        )
+    )
+    gains = {
+        env: without.makespan / with_steal.makespan
+        for env, (with_steal, without) in results.items()
+    }
+    # Every skewed configuration benefits; the benefit grows with skew.
+    assert gains["env-33/67"] > 1.05, gains
+    assert gains["env-17/83"] > 1.25, gains
+    assert gains["env-17/83"] > gains["env-33/67"] >= gains["env-50/50"] * 0.99
+    # Without stealing, the data-poor cluster idles for a large fraction of
+    # the 17/83 run — the stranded capacity stealing reclaims.
+    _, without = results["env-17/83"]
+    stranded = max(c.idle for c in without.clusters.values())
+    assert stranded > 0.3 * without.makespan
+    # Conservation still holds without stealing (both sites have compute).
+    for env, (_w, without) in results.items():
+        assert without.total_jobs == 960
+        assert all(c.jobs_stolen == 0 for c in without.clusters.values())

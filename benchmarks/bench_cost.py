@@ -1,0 +1,84 @@
+"""Extension bench — what does each configuration cost?
+
+The paper motivates cloud bursting with pay-as-you-go economics but never
+prices its own runs. This bench does, under the 2011 AWS tariff: for each
+application and environment it reports the dollar cost next to the
+makespan, exposing the time/money trade-off (env-cloud buys freedom from
+the batch queue at the highest bill; hybrids sit in between; skew adds
+S3-egress charges on top of the EC2 hours).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import ENV_NAMES, figure3_configs
+from repro.bench.cost import AWS_2011, price_run
+from repro.bench.experiments import run_figure3
+from repro.bench.reporting import render_table
+
+from conftest import PAPER_APPS, print_block
+
+
+@pytest.mark.benchmark(group="cost")
+def test_cost_of_bursting(benchmark):
+    def regenerate():
+        out = {}
+        for app in PAPER_APPS:
+            run = run_figure3(app)
+            configs = figure3_configs(app)
+            out[app] = {
+                env: (run.reports[env], price_run(configs[env], run.reports[env]))
+                for env in ENV_NAMES
+            }
+        return out
+
+    priced = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for app, envs in priced.items():
+        for env, (report, cost) in envs.items():
+            rows.append(
+                (
+                    app,
+                    env,
+                    f"{report.makespan:.0f}s",
+                    f"${cost.ec2_compute:.2f}",
+                    f"${cost.s3_egress:.2f}",
+                    f"${cost.cloud_total:.2f}",
+                    f"${cost.total:.2f}",
+                )
+            )
+    print_block(
+        "Dollar cost per run (2011 AWS tariff)\n"
+        + render_table(
+            ("app", "env", "makespan", "EC2", "S3 egress", "cloud bill",
+             "total"),
+            rows,
+        )
+    )
+
+    for app, envs in priced.items():
+        local_cost = envs["env-local"][1]
+        cloud_cost = envs["env-cloud"][1]
+        # Centralized local never touches the cloud.
+        assert local_cost.cloud_total == 0.0, app
+        # env-cloud pays the largest EC2 *compute* bill (most cloud cores).
+        assert cloud_cost.ec2_compute >= max(
+            c.ec2_compute for _r, c in envs.values()
+        ) - 1e-9, app
+        # Hybrid runs pay for EC2 *and* (under skew) S3 egress; egress grows
+        # with skew because stealing grows with skew.
+        egress = [envs[e][1].s3_egress for e in ("env-50/50", "env-33/67",
+                                                 "env-17/83")]
+        assert egress[0] <= egress[1] <= egress[2], (app, egress)
+    # kmeans is the expensive one: longest runs and extra EC2 cores (44/22).
+    assert (
+        priced["kmeans"]["env-cloud"][1].ec2_compute
+        > priced["knn"]["env-cloud"][1].ec2_compute
+    )
+    # Finding the paper does not report: under heavy skew the hybrid's S3
+    # egress charges can exceed the EC2 hours it saves, making env-17/83
+    # costlier than all-cloud for the short retrieval-bound app.
+    knn = priced["knn"]
+    assert knn["env-17/83"][1].cloud_total > knn["env-cloud"][1].cloud_total

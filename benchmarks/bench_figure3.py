@@ -1,0 +1,69 @@
+"""Figure 3 — cloud-bursting execution over the five environments.
+
+One bench per sub-figure (knn / kmeans / pagerank). Each regenerates the
+full env sweep (env-local, env-cloud, env-50/50, env-33/67, env-17/83) at
+the paper's scale, prints the per-cluster processing / retrieval / sync
+decomposition, and asserts the paper's qualitative shapes:
+
+* hybrid configurations are slower than env-local (overhead is positive)
+  but modestly so;
+* the penalty grows as data skews toward S3;
+* kmeans (compute-bound) suffers least; knn (retrieval-bound) most.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import HYBRID_ENVS
+from repro.bench.experiments import run_figure3
+from repro.bench.reporting import render_figure3
+
+from conftest import print_block
+
+
+def _run_and_check(app: str, max_ratio: float):
+    run = run_figure3(app)
+    print_block(render_figure3(run))
+    base = run.baseline.makespan
+    previous = -1e9
+    for env in HYBRID_ENVS:
+        ratio = run.slowdown_ratio(env)
+        assert ratio > -0.05, f"{app}/{env}: hybrid faster than centralized"
+        assert ratio < max_ratio, f"{app}/{env}: slowdown {ratio:.2f} out of band"
+    # Monotone-ish growth with skew (tolerate one small inversion from jitter).
+    r = [run.slowdown_ratio(env) for env in HYBRID_ENVS]
+    assert r[2] >= r[0] - 0.02, f"{app}: skew penalty did not grow: {r}"
+    return run
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_knn(benchmark):
+    run = benchmark.pedantic(lambda: _run_and_check("knn", max_ratio=0.60),
+                             rounds=1, iterations=1)
+    # knn is retrieval-dominated in every environment.
+    for report in run.reports.values():
+        for cluster in report.clusters.values():
+            assert cluster.mean_retrieval > cluster.mean_processing
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_kmeans(benchmark):
+    run = benchmark.pedantic(lambda: _run_and_check("kmeans", max_ratio=0.15),
+                             rounds=1, iterations=1)
+    # kmeans is compute-dominated: slowdown stays small (paper: <= 10.4%).
+    for env in HYBRID_ENVS:
+        assert run.slowdown_ratio(env) < 0.15
+    for report in run.reports.values():
+        for cluster in report.clusters.values():
+            assert cluster.mean_processing > 5 * cluster.mean_retrieval
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_pagerank(benchmark):
+    run = benchmark.pedantic(lambda: _run_and_check("pagerank", max_ratio=0.45),
+                             rounds=1, iterations=1)
+    # The ~300 MB reduction object makes hybrid sync visible: global
+    # reduction in the tens of seconds (paper: 36.6-42.5 s).
+    for env in HYBRID_ENVS:
+        assert 10.0 < run.reports[env].global_reduction < 120.0

@@ -1,0 +1,80 @@
+"""Figure 4 — system scalability with all data in S3.
+
+One bench per sub-figure. Each sweeps (m, m) for m in 4, 8, 16, 32, prints
+makespans and per-doubling speedups next to the paper's printed values,
+and asserts the qualitative shapes:
+
+* makespan drops monotonically as cores double;
+* compute-bound kmeans scales best; pagerank scales worst at the top end
+  because the reduction-object exchange is a fixed cost;
+* the paper's headline ~81% average speedup per doubling is in range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_figure4
+from repro.bench.reporting import render_figure4
+
+from conftest import print_block
+
+
+def _run_and_check(app: str):
+    run = run_figure4(app)
+    print_block(render_figure4(run))
+    names = [f"({m},{m})" for m in run.ladder]
+    makespans = [run.reports[n].makespan for n in names]
+    assert all(a > b for a, b in zip(makespans, makespans[1:])), (
+        f"{app}: makespan not monotone: {makespans}"
+    )
+    return run
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_knn(benchmark):
+    run = benchmark.pedantic(lambda: _run_and_check("knn"), rounds=1, iterations=1)
+    speedups = run.speedups()
+    assert all(s > 30.0 for s in speedups)
+    # Early doublings near-ideal (paper: 82.4%, 89.3%).
+    assert speedups[0] > 60.0
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_kmeans(benchmark):
+    run = benchmark.pedantic(lambda: _run_and_check("kmeans"), rounds=1, iterations=1)
+    speedups = run.speedups()
+    # Compute-bound: consistently high (paper: 86-88%).
+    assert all(s > 70.0 for s in speedups), speedups
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_pagerank(benchmark):
+    run = benchmark.pedantic(lambda: _run_and_check("pagerank"), rounds=1,
+                             iterations=1)
+    speedups = run.speedups()
+    # Fixed robj-exchange cost: the last doubling pays the most (paper:
+    # 85.8 -> 73.2 -> 66.4).
+    assert speedups[-1] < speedups[0]
+    # Global reduction is scale-invariant (the fixed cost itself).
+    names = [f"({m},{m})" for m in run.ladder]
+    gr = [run.reports[n].global_reduction for n in names]
+    assert max(gr) - min(gr) < 0.2 * max(gr)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_headline_average(benchmark):
+    """Paper: 'our system scales with an average speedup of 81% every time
+    the number of compute resources is doubled.'"""
+
+    def mean_speedup():
+        total, count = 0.0, 0
+        for app in ("knn", "kmeans", "pagerank"):
+            for s in run_figure4(app).speedups():
+                total += s
+                count += 1
+        return total / count
+
+    mean = benchmark.pedantic(mean_speedup, rounds=1, iterations=1)
+    print_block(f"Average speedup per core-doubling: {mean:.1f}% (paper: 81%)")
+    assert 60.0 < mean < 100.0

@@ -1,0 +1,88 @@
+"""Extension bench — the *executable* runtime exhibits Figure 3's shape.
+
+The figure/table benches use the simulator; this bench cross-checks the
+real middleware: actual threads, actual bytes, with wall-clock traffic
+shaping standing in for the WAN (slow shaped GETs for the "cloud" store).
+At laptop scale it verifies the same qualitative ordering the paper
+measured at testbed scale: centralized-local is fastest, and the hybrid's
+penalty grows as data skews toward the remote store.
+
+Wall-clock assertions are deliberately loose (2x bands) — this is a shape
+check, not a timing benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_bundle
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    MiddlewareTuning,
+    PlacementSpec,
+)
+from repro.data.dataset import build_dataset
+from repro.runtime.driver import CloudBurstingRuntime
+from repro.storage.objectstore import ObjectStore, TrafficShaper
+
+from conftest import print_block
+
+TOTAL_UNITS = 8192
+FILES = 8
+CHUNKS_PER_FILE = 4
+
+#: "WAN": 40 ms per GET and ~2 MB/s per connection, vs an unshaped local
+#: store — the same asymmetry the calibration gives the simulator.
+WAN_SHAPER = TrafficShaper(request_latency=0.040, bandwidth=2 * 1024 * 1024)
+
+
+def run_env(local_fraction: float, local_cores: int, cloud_cores: int) -> float:
+    bundle = make_bundle("histogram", TOTAL_UNITS, bins=64)
+    rb = bundle.schema.record_bytes
+    spec = DatasetSpec(
+        total_bytes=TOTAL_UNITS * rb,
+        num_files=FILES,
+        chunk_bytes=(TOTAL_UNITS // (FILES * CHUNKS_PER_FILE)) * rb,
+        record_bytes=rb,
+    )
+    stores = {
+        LOCAL_SITE: ObjectStore(),
+        CLOUD_SITE: ObjectStore(shaper=WAN_SHAPER),
+    }
+    index = build_dataset(
+        spec, PlacementSpec(local_fraction), bundle.schema, bundle.block_fn,
+        stores,
+    )
+    runtime = CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=local_cores, cloud_cores=cloud_cores),
+        tuning=MiddlewareTuning(retrieval_threads=4),
+    )
+    result = runtime.run()
+    assert result.value.sum() == TOTAL_UNITS  # every unit counted once
+    return result.telemetry.wall_seconds
+
+
+@pytest.mark.benchmark(group="runtime-shape")
+def test_runtime_reproduces_hybrid_ordering(benchmark):
+    def sweep():
+        return {
+            "env-local": run_env(1.0, 4, 0),
+            "env-50/50": run_env(0.5, 2, 2),
+            "env-25/75": run_env(0.25, 2, 2),
+        }
+
+    walls = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_block(
+        "Executable runtime, shaped stores (seconds of wall time):\n"
+        + "\n".join(f"  {env:10s} {t:.3f}s" for env, t in walls.items())
+    )
+    # Centralized local (unshaped store) beats both hybrids, whose slaves
+    # pay real shaped latency for remote chunks.
+    assert walls["env-local"] < walls["env-50/50"]
+    assert walls["env-local"] < walls["env-25/75"]
+    # More skew -> more shaped GETs -> slower (loose band: scheduling noise).
+    assert walls["env-25/75"] > walls["env-50/50"] * 0.8

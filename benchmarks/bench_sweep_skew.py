@@ -1,0 +1,62 @@
+"""Extension bench — the data-skew continuum.
+
+Figure 3 samples three skews; this bench fills in the curve from 100%
+local data down to 0%, under the paper's halved hybrid compute split, for
+all three applications. The curve is U-shaped: the best placement matches
+the compute split (~50/50), and *both* extremes pay — all-cloud placement
+makes the campus half fetch everything over the WAN, and all-local
+placement makes the EC2 half do the same in the other direction. This
+quantifies the paper's Section IV-B remark that "having a perfect
+distribution would likely minimize the total slowdown".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_skew_sweep
+from repro.bench.reporting import render_table
+
+from conftest import PAPER_APPS, print_block
+
+FRACTIONS = (1.0, 0.75, 0.5, 1.0 / 3.0, 0.25, 1.0 / 6.0, 0.0)
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_skew_continuum(benchmark):
+    def regenerate():
+        return {app: run_skew_sweep(app, FRACTIONS) for app in PAPER_APPS}
+
+    sweeps = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for app, sweep in sweeps.items():
+        for fraction in FRACTIONS:
+            report = sweep[fraction]
+            stolen = sum(c.jobs_stolen for c in report.clusters.values())
+            rows.append(
+                (app, f"{fraction * 100:.0f}% local",
+                 f"{report.makespan:.1f}", stolen)
+            )
+    print_block(
+        "Data-skew continuum (halved hybrid compute)\n"
+        + render_table(("app", "placement", "makespan (s)", "stolen"), rows)
+    )
+
+    for app, sweep in sweeps.items():
+        best = min(FRACTIONS, key=lambda f: sweep[f].makespan)
+        # The optimum placement matches the compute split: 50/50 (or the
+        # adjacent sample — jitter can shift it one notch).
+        assert 0.25 <= best <= 0.75, (app, best)
+        # Both extremes pay a WAN penalty relative to the matched placement
+        # for the retrieval-sensitive apps.
+        matched = sweep[0.5].makespan
+        if app != "kmeans":
+            assert sweep[1.0].makespan > matched, app
+            assert sweep[0.0].makespan > matched, app
+        # Stealing is U-shaped too: minimal at the matched placement.
+        def total_stolen(f):
+            return sum(c.jobs_stolen for c in sweep[f].clusters.values())
+
+        assert total_stolen(0.5) <= total_stolen(1.0), app
+        assert total_stolen(0.5) <= total_stolen(0.0), app

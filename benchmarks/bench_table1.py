@@ -1,0 +1,44 @@
+"""Table I — job assignment per application.
+
+Regenerates the paper's stolen-jobs accounting: for each app and hybrid
+environment, how many jobs each cluster processed and how many the local
+cluster stole from S3 after exhausting its locally-stored jobs. Asserts
+the shapes the paper calls out:
+
+* env-50/50 is balanced with little to no stealing;
+* stealing grows monotonically as data skews toward S3;
+* EC2 processes more jobs than the local cluster under skew.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_figure3, table1_rows
+from repro.bench.reporting import render_table1
+
+from conftest import PAPER_APPS, print_block
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark):
+    def regenerate():
+        return {app: run_figure3(app) for app in PAPER_APPS}
+
+    runs = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_block(render_table1(runs))
+
+    for app, run in runs.items():
+        rows = {r["env"]: r for r in table1_rows(run)}
+        # Conservation: every job processed exactly once.
+        for row in rows.values():
+            assert row["ec2_jobs"] + row["local_jobs"] == 960, (app, row)
+        # Stealing monotone in skew; substantial at 17/83.
+        stolen = [rows[e]["stolen"] for e in ("env-50/50", "env-33/67",
+                                              "env-17/83")]
+        assert stolen[0] <= stolen[1] <= stolen[2], (app, stolen)
+        assert stolen[2] > 50, (app, stolen)
+        assert stolen[0] <= 60, (app, stolen)  # near-balanced at 50/50
+        # EC2 takes the majority under the strongest skew (paper: 672/560/544
+        # of 960).
+        assert rows["env-17/83"]["ec2_jobs"] > rows["env-17/83"]["local_jobs"], app

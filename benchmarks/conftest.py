@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the simulator at the paper's full scale (120 GB / 960 jobs
+— simulated, so each configuration takes well under a second of wall
+time). Each bench regenerates one paper artifact and prints it in the
+paper's layout with paper-vs-measured columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PAPER_APPS = ("knn", "kmeans", "pagerank")
+
+
+def print_block(text: str) -> None:
+    """Print a report block with surrounding whitespace so pytest -s output
+    stays readable."""
+    print()
+    print(text)
+    print()
+
+
+@pytest.fixture(scope="session")
+def paper_apps():
+    return PAPER_APPS

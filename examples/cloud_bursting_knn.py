@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario: is cloud bursting worth it for a retrieval-bound workload?
+
+Reproduces the paper's Figure 3(a) decision flow for k-nearest neighbors:
+a lab has 120 GB of reference data and a queue-clogged campus cluster.
+How much does it cost to split the data and the compute with AWS, at
+various data skews?
+
+Prints text "stacked bars" (P = processing, R = retrieval, S = sync) like
+the paper's figure, plus the Table-II-style overhead summary.
+
+Run:  python examples/cloud_bursting_knn.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.configs import ENV_NAMES
+from repro.bench.experiments import run_figure3
+from repro.bench.reporting import render_bar, render_figure3
+
+
+def main() -> None:
+    print("Simulating the five environments of Figure 3(a) (knn, 120 GB)...")
+    run = run_figure3("knn")
+
+    print()
+    print("Stacked bars per cluster (P=processing, R=retrieval, S=sync):")
+    unit = max(r.makespan for r in run.reports.values()) / 60.0
+    for env in ENV_NAMES:
+        report = run.reports[env]
+        for cluster in report.clusters.values():
+            label = f"{env}/{cluster.site}"
+            print(
+                render_bar(
+                    label,
+                    {
+                        "processing": cluster.mean_processing,
+                        "retrieval": cluster.mean_retrieval,
+                        "sync": cluster.sync,
+                    },
+                    unit_per_char=unit,
+                )
+            )
+    print()
+    print(render_figure3(run))
+
+    print()
+    baseline = run.baseline.makespan
+    print(f"Centralized baseline (env-local): {baseline:.1f} s")
+    for env in ("env-50/50", "env-33/67", "env-17/83"):
+        report = run.reports[env]
+        ratio = run.slowdown_ratio(env) * 100
+        stolen = sum(c.jobs_stolen for c in report.clusters.values())
+        print(
+            f"{env}: {report.makespan:.1f} s (+{ratio:.1f}%), "
+            f"{stolen} jobs stolen across the WAN"
+        )
+    print()
+    print(
+        "Verdict: for knn the bursting penalty tracks how much data must "
+        "cross the WAN — modest at 50/50, noticeable at 17/83 — matching "
+        "the paper's observation that retrieval dominates the slowdown."
+    )
+
+
+if __name__ == "__main__":
+    main()

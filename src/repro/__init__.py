@@ -1,0 +1,81 @@
+"""repro — a reproduction of *A Framework for Data-Intensive Computing
+with Cloud Bursting* (Bicer, Chiu, Agrawal; IEEE CLUSTER 2011).
+
+The package provides:
+
+* the **Generalized Reduction** programming API and its middleware
+  (head / master / slave, pooling load balancing, locality-aware job
+  assignment, work stealing) — :mod:`repro.core`, :mod:`repro.runtime`;
+* every substrate the paper depends on, built from scratch: data
+  organization (:mod:`repro.data`), storage services (:mod:`repro.storage`),
+  network and cluster models (:mod:`repro.network`, :mod:`repro.cluster`);
+* a **discrete-event simulator** standing in for the paper's
+  campus-cluster + EC2/S3 testbed (:mod:`repro.sim`);
+* the three evaluation applications plus extras (:mod:`repro.apps`),
+  baselines (:mod:`repro.baselines`), and the benchmark harness that
+  regenerates every table and figure (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import simulate, env_config
+
+    report = simulate(env_config("knn", "env-50/50"))
+    print(report.makespan, report.total_stolen)
+
+See ``examples/quickstart.py`` for the executable-runtime path.
+"""
+
+from .apps import AppBundle, AppProfile, available_apps, make_bundle
+from .bench import (
+    env_config,
+    figure3_configs,
+    figure4_configs,
+    run_figure3,
+    run_figure4,
+)
+from .config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    ExperimentConfig,
+    MiddlewareTuning,
+    PlacementSpec,
+)
+from .core import GeneralizedReductionApp, ReductionObject, run_serial
+from .errors import ReproError
+from .runtime import CloudBurstingRuntime, run_centralized, run_iterative
+from .sim import PAPER_CALIBRATION, SimCalibration, SimReport, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppBundle",
+    "AppProfile",
+    "available_apps",
+    "make_bundle",
+    "env_config",
+    "figure3_configs",
+    "figure4_configs",
+    "run_figure3",
+    "run_figure4",
+    "CLOUD_SITE",
+    "LOCAL_SITE",
+    "ComputeSpec",
+    "DatasetSpec",
+    "ExperimentConfig",
+    "MiddlewareTuning",
+    "PlacementSpec",
+    "GeneralizedReductionApp",
+    "ReductionObject",
+    "run_serial",
+    "ReproError",
+    "CloudBurstingRuntime",
+    "run_centralized",
+    "run_iterative",
+    "PAPER_CALIBRATION",
+    "SimCalibration",
+    "SimReport",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,109 @@
+"""k-Nearest-Neighbors search under Generalized Reduction.
+
+The paper's first application (Section IV-A): "a classic database/data
+mining algorithm. It has low computation, leading to medium to high I/O
+demands and the reduction object is small. The value of k is set to 1000.
+The total number of processed elements is 32.1e9."
+
+The reduction object is a :class:`~repro.core.reduction.TopKReduction` —
+the k reference points closest to the query seen so far. Local reduction
+computes squared Euclidean distances for a cache-sized group of reference
+points and offers only the candidates that beat the current kth-best, so
+the object stays tiny (the paper's "small reduction object").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import GeneralizedReductionApp
+from ..core.reduction import ReductionObject, TopKReduction
+from ..data.generators import labeled_gaussian_points
+from ..data.records import idpoint_schema
+from ..units import KB
+from .base import AppBundle, AppProfile, register_app
+
+__all__ = ["KnnApp", "KNN_PROFILE"]
+
+#: Calibration: 32.1e9 elements in 120 GB -> ~4 B records; low compute
+#: (distance + compare): the env-local processing share of Fig. 3(a).
+KNN_PROFILE = AppProfile(
+    key="knn",
+    unit_cost_local=6.0e-8,
+    cloud_slowdown=1.0,
+    robj_bytes=16 * KB,  # k=1000 (score, id) pairs
+    record_bytes=4,
+    description="k-nearest neighbors: low compute, high I/O, small robj",
+)
+
+
+class KnnApp(GeneralizedReductionApp):
+    """Find the ``k`` reference points nearest to a fixed query point."""
+
+    name = "knn"
+
+    def __init__(self, query: np.ndarray, k: int = 1000) -> None:
+        self.query = np.asarray(query, dtype=np.float32)
+        if self.query.ndim != 1:
+            raise ValueError("query must be a 1-D point")
+        self.k = int(k)
+        self._schema = idpoint_schema(len(self.query))
+
+    def create_reduction_object(self) -> TopKReduction:
+        return TopKReduction(self.k)
+
+    def local_reduction(self, robj: ReductionObject, units: np.ndarray) -> None:
+        assert isinstance(robj, TopKReduction)
+        coords = units["coords"].astype(np.float32, copy=False)
+        diffs = coords - self.query  # broadcast over the group
+        dists = np.einsum("ij,ij->i", diffs, diffs).astype(np.float64)
+        # Offer only candidates that can enter the current top-k: keeps the
+        # merge cheap without changing the result. <= (not <) so equal-score
+        # candidates still compete on the id tiebreak, keeping the outcome
+        # independent of processing order.
+        cutoff = robj.worst
+        mask = dists <= cutoff
+        if not mask.all():
+            dists = dists[mask]
+            ids = units["id"][mask]
+        else:
+            ids = units["id"]
+        if len(dists):
+            robj.offer(dists, np.asarray(ids, dtype=np.int64))
+
+    def finalize(self, robj: ReductionObject) -> list[tuple[float, int]]:
+        assert isinstance(robj, TopKReduction)
+        return robj.value()
+
+    def decode_chunk(self, raw: bytes) -> np.ndarray:
+        return self._schema.decode(raw)
+
+
+def _make_bundle(total_units: int, *, seed: int = 2011, dims: int = 4, k: int = 16, centers: int = 8) -> AppBundle:
+    """Small-scale knn bundle: Gaussian reference points, query at the cube
+    center, ``k`` neighbors (paper uses k=1000; tests shrink it)."""
+    schema = idpoint_schema(dims)
+    # The functional record is larger than the 4-byte cost-model record;
+    # rebind the profile's record size so the bundle is self-consistent at
+    # laptop scale (the simulator uses the paper profile directly).
+    profile = AppProfile(
+        key=KNN_PROFILE.key,
+        unit_cost_local=KNN_PROFILE.unit_cost_local,
+        cloud_slowdown=KNN_PROFILE.cloud_slowdown,
+        robj_bytes=KNN_PROFILE.robj_bytes,
+        record_bytes=schema.record_bytes,
+        description=KNN_PROFILE.description,
+    )
+    query = np.full(dims, 0.5, dtype=np.float32)
+    app = KnnApp(query, k=k)
+
+    def block_fn(start: int, count: int, block_index: int) -> np.ndarray:
+        return labeled_gaussian_points(
+            count, dims, centers=centers, seed=seed + block_index * 9973 + start,
+            id_offset=start,
+        )
+
+    return AppBundle(profile=profile, app=app, schema=schema, block_fn=block_fn)
+
+
+register_app(KNN_PROFILE, _make_bundle)

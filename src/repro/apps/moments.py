@@ -1,0 +1,92 @@
+"""Streaming statistical moments — an extra example application.
+
+Computes count, mean, variance, min, and max of a float64 stream in one
+pass by accumulating raw moments (n, Σx, Σx²) plus extrema — the textbook
+demonstration that any *algebraic* aggregate fits the Generalized
+Reduction mold: the reduction object is a tiny
+:class:`~repro.core.reduction.StructReduction`, merging is field-wise
+addition/min/max, and the final statistics are derived in ``finalize``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.api import GeneralizedReductionApp
+from ..core.reduction import ArrayReduction, ReductionObject, ScalarReduction, StructReduction
+from ..data.generators import mixture_values
+from ..data.records import VALUE_SCHEMA
+from .base import AppBundle, AppProfile, register_app
+
+__all__ = ["MomentsApp", "MOMENTS_PROFILE"]
+
+MOMENTS_PROFILE = AppProfile(
+    key="moments",
+    unit_cost_local=3.0e-8,
+    cloud_slowdown=1.0,
+    robj_bytes=64,
+    record_bytes=8,
+    description="streaming count/mean/variance/min/max: the minimal robj",
+)
+
+
+class MomentsApp(GeneralizedReductionApp):
+    """One-pass moments over float64 samples."""
+
+    name = "moments"
+
+    def create_reduction_object(self) -> StructReduction:
+        return StructReduction(
+            {
+                "sums": ArrayReduction((3,), dtype=np.float64),  # n, Σx, Σx²
+                "min": ScalarReduction("min"),
+                "max": ScalarReduction("max"),
+            }
+        )
+
+    def local_reduction(self, robj: ReductionObject, units: np.ndarray) -> None:
+        assert isinstance(robj, StructReduction)
+        vals = np.asarray(units, dtype=np.float64).ravel()
+        if not len(vals):
+            return
+        sums = robj["sums"]
+        assert isinstance(sums, ArrayReduction)
+        sums.data += [float(len(vals)), float(vals.sum()),
+                      float((vals * vals).sum())]
+        robj["min"].add(float(vals.min()))  # type: ignore[attr-defined]
+        robj["max"].add(float(vals.max()))  # type: ignore[attr-defined]
+
+    def finalize(self, robj: ReductionObject) -> dict[str, float]:
+        assert isinstance(robj, StructReduction)
+        n, total, squares = robj["sums"].value()
+        if n == 0:
+            return {"count": 0.0, "mean": math.nan, "std": math.nan,
+                    "min": math.nan, "max": math.nan}
+        mean = total / n
+        variance = max(0.0, squares / n - mean * mean)
+        return {
+            "count": float(n),
+            "mean": float(mean),
+            "std": float(math.sqrt(variance)),
+            "min": float(robj["min"].value()),
+            "max": float(robj["max"].value()),
+        }
+
+    def decode_chunk(self, raw: bytes) -> np.ndarray:
+        return VALUE_SCHEMA.decode(raw)
+
+
+def _make_bundle(total_units: int, *, seed: int = 2011) -> AppBundle:
+    app = MomentsApp()
+
+    def block_fn(start: int, count: int, block_index: int) -> np.ndarray:
+        return mixture_values(count, seed=seed + block_index * 3571 + start)
+
+    return AppBundle(
+        profile=MOMENTS_PROFILE, app=app, schema=VALUE_SCHEMA, block_fn=block_fn
+    )
+
+
+register_app(MOMENTS_PROFILE, _make_bundle)

@@ -1,0 +1,71 @@
+"""Word count — the canonical Map-Reduce example, under Generalized
+Reduction.
+
+Not part of the paper's evaluation; included as the comparison workload for
+the API ablation (generalized reduction vs Map-Reduce with and without a
+combiner, Section III-A's motivating discussion) and as an extra example
+application. Tokens are int32 ids; the reduction object is a
+:class:`~repro.core.reduction.DictReduction` with the library ``sum``
+combiner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import GeneralizedReductionApp
+from ..core.reduction import DictReduction, ReductionObject
+from ..data.generators import zipf_tokens
+from ..data.records import TOKEN_SCHEMA
+from ..units import KB
+from .base import AppBundle, AppProfile, register_app
+
+__all__ = ["WordCountApp", "WORDCOUNT_PROFILE"]
+
+WORDCOUNT_PROFILE = AppProfile(
+    key="wordcount",
+    unit_cost_local=4.0e-8,
+    cloud_slowdown=1.0,
+    robj_bytes=512 * KB,
+    record_bytes=4,
+    description="word count: trivial compute, keyed reduction object",
+)
+
+
+class WordCountApp(GeneralizedReductionApp):
+    """Count token-id frequencies."""
+
+    name = "wordcount"
+
+    def create_reduction_object(self) -> DictReduction:
+        return DictReduction("sum")
+
+    def local_reduction(self, robj: ReductionObject, units: np.ndarray) -> None:
+        assert isinstance(robj, DictReduction)
+        tokens = np.asarray(units).ravel()
+        values, counts = np.unique(tokens, return_counts=True)
+        for token, count in zip(values.tolist(), counts.tolist()):
+            robj.add(int(token), int(count))
+
+    def finalize(self, robj: ReductionObject) -> dict[int, int]:
+        assert isinstance(robj, DictReduction)
+        return dict(robj.value())
+
+    def decode_chunk(self, raw: bytes) -> np.ndarray:
+        return TOKEN_SCHEMA.decode(raw)
+
+
+def _make_bundle(
+    total_units: int, *, seed: int = 2011, vocabulary: int = 512
+) -> AppBundle:
+    app = WordCountApp()
+
+    def block_fn(start: int, count: int, block_index: int) -> np.ndarray:
+        return zipf_tokens(count, vocabulary, seed=seed + block_index * 6151 + start)
+
+    return AppBundle(
+        profile=WORDCOUNT_PROFILE, app=app, schema=TOKEN_SCHEMA, block_fn=block_fn
+    )
+
+
+register_app(WORDCOUNT_PROFILE, _make_bundle)

@@ -1,0 +1,149 @@
+"""An in-memory Map-Reduce engine — the API baseline of Section III-A.
+
+The paper contrasts Generalized Reduction with Map-Reduce (with and without
+the optional ``Combine`` function, Figure 1) and argues that even with a
+combiner, intermediate ``(key, value)`` pairs are still *generated* on every
+map node, costing memory, sorting, and grouping; Generalized Reduction
+fuses the pipeline and never materializes them.
+
+This engine exists to make that comparison measurable: it executes the
+classic map → (combine) → shuffle → reduce pipeline and counts
+
+* ``pairs_emitted`` — intermediate pairs produced by map,
+* ``pairs_shuffled`` — pairs that crossed the (simulated) shuffle after
+  optional combining,
+* ``peak_buffer_pairs`` — the largest per-map-task buffer,
+
+which `bench_ablation_api` reports next to the Generalized Reduction
+equivalent (whose intermediate pair count is zero by construction).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+__all__ = ["MapReduceStats", "MapReduceEngine", "mr_wordcount", "mr_histogram"]
+
+MapFn = Callable[[Any], Iterable[tuple[Hashable, Any]]]
+ReduceFn = Callable[[Hashable, list[Any]], Any]
+CombineFn = Callable[[Hashable, list[Any]], Any]
+
+
+@dataclass
+class MapReduceStats:
+    """Counters for the intermediate-data argument."""
+
+    map_tasks: int = 0
+    pairs_emitted: int = 0
+    pairs_shuffled: int = 0
+    peak_buffer_pairs: int = 0
+    reduce_groups: int = 0
+
+    def observe_buffer(self, size: int) -> None:
+        self.peak_buffer_pairs = max(self.peak_buffer_pairs, size)
+
+
+@dataclass
+class MapReduceEngine:
+    """Execute map -> (combine) -> shuffle -> reduce over input splits.
+
+    ``num_partitions`` models the reduce-side parallelism; partitioning is
+    by ``hash(key) % num_partitions`` as in Hadoop. The engine is
+    deliberately faithful to the dataflow (buffer, group, shuffle) rather
+    than to any one implementation's performance.
+    """
+
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    combine_fn: CombineFn | None = None
+    num_partitions: int = 4
+    stats: MapReduceStats = field(default_factory=MapReduceStats)
+
+    def run(self, splits: Sequence[Any]) -> dict[Hashable, Any]:
+        """Run the full pipeline; returns ``{key: reduced value}``."""
+        partitions: list[dict[Hashable, list[Any]]] = [
+            defaultdict(list) for _ in range(self.num_partitions)
+        ]
+        for split in splits:
+            self.stats.map_tasks += 1
+            # Map phase: buffer this task's intermediate pairs, grouped by
+            # key (the paper's description of the combine buffer).
+            buffer: dict[Hashable, list[Any]] = defaultdict(list)
+            pairs = 0
+            for key, value in self.map_fn(split):
+                buffer[key].append(value)
+                pairs += 1
+            self.stats.pairs_emitted += pairs
+            self.stats.observe_buffer(pairs)
+            # Optional combine: collapse each key's values before shuffle.
+            if self.combine_fn is not None:
+                emitted = {
+                    key: [self.combine_fn(key, values)]
+                    for key, values in buffer.items()
+                }
+            else:
+                emitted = buffer
+            # Shuffle: hash-partition to reducers.
+            for key, values in emitted.items():
+                self.stats.pairs_shuffled += len(values)
+                partitions[hash(key) % self.num_partitions][key].extend(values)
+        # Reduce phase.
+        result: dict[Hashable, Any] = {}
+        for part in partitions:
+            for key, values in part.items():
+                self.stats.reduce_groups += 1
+                result[key] = self.reduce_fn(key, values)
+        return result
+
+
+# --- reference formulations used by tests and the API ablation -------------
+
+
+def mr_wordcount(
+    token_splits: Sequence[Any], *, combine: bool = False
+) -> tuple[dict[int, int], MapReduceStats]:
+    """Word count as classic Map-Reduce over arrays of token ids."""
+
+    def map_fn(split: Any) -> Iterable[tuple[int, int]]:
+        for token in split.ravel().tolist():
+            yield int(token), 1
+
+    def reduce_fn(key: Hashable, values: list[int]) -> int:
+        return sum(values)
+
+    combine_fn = (lambda key, values: sum(values)) if combine else None
+    engine = MapReduceEngine(map_fn, reduce_fn, combine_fn)
+    result = engine.run(token_splits)
+    return {int(k): int(v) for k, v in result.items()}, engine.stats
+
+
+def mr_histogram(
+    value_splits: Sequence[Any],
+    bins: int,
+    lo: float,
+    hi: float,
+    *,
+    combine: bool = False,
+) -> tuple[dict[int, int], MapReduceStats]:
+    """Histogram as Map-Reduce: key = bin index, value = 1."""
+
+    def map_fn(split: Any) -> Iterable[tuple[int, int]]:
+        vals = split.ravel()
+        scaled = (vals - lo) / (hi - lo) * bins
+        for idx in scaled:
+            b = int(idx)
+            if b < 0:
+                b = 0
+            elif b >= bins:
+                b = bins - 1
+            yield b, 1
+
+    def reduce_fn(key: Hashable, values: list[int]) -> int:
+        return sum(values)
+
+    combine_fn = (lambda key, values: sum(values)) if combine else None
+    engine = MapReduceEngine(map_fn, reduce_fn, combine_fn)
+    result = engine.run(value_splits)
+    return {int(k): int(v) for k, v in result.items()}, engine.stats

@@ -1,0 +1,92 @@
+"""Serial reference implementations — the correctness oracle.
+
+These are written independently of the Generalized Reduction API (plain
+NumPy over the whole dataset in memory) so that agreement with the
+distributed runtime is meaningful evidence, not a tautology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "knn_reference",
+    "kmeans_reference",
+    "pagerank_reference",
+    "wordcount_reference",
+    "histogram_reference",
+]
+
+
+def knn_reference(
+    ids: np.ndarray, coords: np.ndarray, query: np.ndarray, k: int
+) -> list[tuple[float, int]]:
+    """Exact k nearest neighbors by full sort, ties broken by id."""
+    q = np.asarray(query, dtype=np.float32)
+    diffs = np.asarray(coords, dtype=np.float32) - q
+    dists = np.einsum("ij,ij->i", diffs, diffs).astype(np.float64)
+    order = np.lexsort((np.asarray(ids, dtype=np.int64), dists))[:k]
+    return [(float(dists[i]), int(ids[i])) for i in order]
+
+
+def kmeans_reference(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """One Lloyd iteration; empty clusters keep their previous centroid."""
+    pts = np.asarray(points, dtype=np.float32)
+    cents = np.asarray(centroids, dtype=np.float32)
+    # Full pairwise distances (fine at oracle scale).
+    d2 = (
+        np.einsum("ij,ij->i", pts, pts)[:, None]
+        - 2.0 * pts @ cents.T
+        + np.einsum("ij,ij->i", cents, cents)[None, :]
+    )
+    assign = np.argmin(d2, axis=1)
+    out = cents.astype(np.float64).copy()
+    for c in range(len(cents)):
+        members = pts[assign == c]
+        if len(members):
+            out[c] = members.astype(np.float64).mean(axis=0)
+    return out.astype(np.float32)
+
+
+def pagerank_reference(
+    edges: np.ndarray,
+    n_pages: int,
+    ranks: np.ndarray | None = None,
+    damping: float = 0.85,
+    iterations: int = 1,
+) -> np.ndarray:
+    """Power iteration(s) with uniform dangling-mass redistribution."""
+    if ranks is None:
+        r = np.full(n_pages, 1.0 / n_pages, dtype=np.float64)
+    else:
+        r = np.asarray(ranks, dtype=np.float64).copy()
+    src = edges[:, 0].astype(np.int64)
+    dst = edges[:, 1].astype(np.int64)
+    outdeg = np.bincount(src, minlength=n_pages).astype(np.int64)
+    has_out = outdeg > 0
+    for _ in range(iterations):
+        contrib = np.zeros(n_pages, dtype=np.float64)
+        contrib[has_out] = r[has_out] / outdeg[has_out]
+        acc = np.zeros(n_pages, dtype=np.float64)
+        np.add.at(acc, dst, contrib[src])
+        dangling = float(r[~has_out].sum())
+        r = (1.0 - damping) / n_pages + damping * (acc + dangling / n_pages)
+    return r
+
+
+def wordcount_reference(tokens: np.ndarray) -> dict[int, int]:
+    """Token-id frequency table."""
+    values, counts = np.unique(np.asarray(tokens).ravel(), return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def histogram_reference(
+    values: np.ndarray, bins: int, lo: float, hi: float
+) -> np.ndarray:
+    """Fixed-range histogram with edge-bin clipping (matches HistogramApp)."""
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    scaled = (vals - lo) / (hi - lo) * bins
+    idx = np.clip(scaled.astype(np.int64), 0, bins - 1)
+    out = np.zeros(bins, dtype=np.int64)
+    np.add.at(out, idx, 1)
+    return out

@@ -1,0 +1,368 @@
+"""Experiment runners: one entry point per paper artifact.
+
+Each runner executes the discrete-event simulator over the relevant
+configurations and returns a structured result object that the reporting
+module renders as the paper's rows/series. ``scale`` < 1 shrinks chunk
+sizes (same 960-job structure) for smoke tests; the benches run at full
+scale, which still simulates in about a second per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.base import AppProfile, get_profile
+from ..config import CLOUD_SITE, LOCAL_SITE, ExperimentConfig, MiddlewareTuning
+from ..errors import ConfigurationError
+from ..sim.calibration import PAPER_CALIBRATION, SimCalibration
+from ..sim.metrics import SimReport
+from ..sim.simulation import simulate
+from .configs import (
+    HYBRID_ENVS,
+    SCALABILITY_LADDER,
+    env_config,
+    figure3_configs,
+    figure4_configs,
+)
+
+__all__ = [
+    "Figure3Run",
+    "Figure4Run",
+    "run_figure3",
+    "run_figure4",
+    "table1_rows",
+    "table2_rows",
+    "mean_hybrid_slowdown",
+    "run_skew_sweep",
+    "run_iterative_projection",
+    "run_stealing_ablation",
+    "run_scheduling_ablation",
+    "run_retrieval_ablation",
+    "run_robj_ablation",
+]
+
+PAPER_APPS = ("knn", "kmeans", "pagerank")
+
+
+def _cluster_by_site(report: SimReport, site: str):
+    for cluster in report.clusters.values():
+        if cluster.site == site:
+            return cluster
+    return None
+
+
+@dataclass
+class Figure3Run:
+    """All five environments of Figure 3 for one application."""
+
+    app: str
+    reports: dict[str, SimReport] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> SimReport:
+        return self.reports["env-local"]
+
+    def slowdown_seconds(self, env: str) -> float:
+        return self.reports[env].slowdown_vs(self.baseline)
+
+    def slowdown_ratio(self, env: str) -> float:
+        return self.reports[env].slowdown_ratio_vs(self.baseline)
+
+
+@dataclass
+class Figure4Run:
+    """The scalability ladder of Figure 4 for one application."""
+
+    app: str
+    reports: dict[str, SimReport] = field(default_factory=dict)
+    ladder: tuple[int, ...] = SCALABILITY_LADDER
+
+    def speedups(self) -> list[float]:
+        """Percent speedup at each doubling, in ladder order."""
+        out: list[float] = []
+        names = [f"({m},{m})" for m in self.ladder]
+        for prev, cur in zip(names, names[1:]):
+            t_prev = self.reports[prev].makespan
+            t_cur = self.reports[cur].makespan
+            out.append((t_prev / t_cur - 1.0) * 100.0)
+        return out
+
+
+def run_figure3(
+    app: str,
+    *,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> Figure3Run:
+    """Simulate the five env-* configurations for one application."""
+    run = Figure3Run(app=app)
+    for env, config in figure3_configs(app, scale=scale, seed=seed).items():
+        run.reports[env] = simulate(config, calibration)
+    return run
+
+
+def run_figure4(
+    app: str,
+    *,
+    ladder: tuple[int, ...] = SCALABILITY_LADDER,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> Figure4Run:
+    """Simulate the scalability ladder (all data in S3) for one app."""
+    run = Figure4Run(app=app, ladder=ladder)
+    for name, config in figure4_configs(
+        app, ladder=ladder, scale=scale, seed=seed
+    ).items():
+        run.reports[name] = simulate(config, calibration)
+    return run
+
+
+# -- table extraction ---------------------------------------------------------
+
+
+def table1_rows(run: Figure3Run) -> list[dict]:
+    """Table I rows (jobs processed / stolen) from a Figure-3 run."""
+    rows = []
+    for env in HYBRID_ENVS:
+        report = run.reports[env]
+        ec2 = _cluster_by_site(report, CLOUD_SITE)
+        local = _cluster_by_site(report, LOCAL_SITE)
+        rows.append(
+            {
+                "app": run.app,
+                "env": env,
+                "ec2_jobs": ec2.jobs_processed if ec2 else 0,
+                "local_jobs": local.jobs_processed if local else 0,
+                "stolen": local.jobs_stolen if local else 0,
+            }
+        )
+    return rows
+
+
+def table2_rows(run: Figure3Run) -> list[dict]:
+    """Table II rows (global reduction / idle / slowdown) from a run."""
+    rows = []
+    for env in HYBRID_ENVS:
+        report = run.reports[env]
+        ec2 = _cluster_by_site(report, CLOUD_SITE)
+        local = _cluster_by_site(report, LOCAL_SITE)
+        rows.append(
+            {
+                "app": run.app,
+                "env": env,
+                "global_reduction": report.global_reduction,
+                "idle_local": local.idle if local else 0.0,
+                "idle_ec2": ec2.idle if ec2 else 0.0,
+                "total_slowdown": run.slowdown_seconds(env),
+            }
+        )
+    return rows
+
+
+def mean_hybrid_slowdown(runs: dict[str, Figure3Run]) -> float:
+    """The paper's headline: average slowdown ratio over the 9 hybrid runs."""
+    ratios = [
+        run.slowdown_ratio(env) for run in runs.values() for env in HYBRID_ENVS
+    ]
+    if not ratios:
+        raise ConfigurationError("no hybrid runs supplied")
+    return sum(ratios) / len(ratios)
+
+
+# -- ablations -----------------------------------------------------------------
+
+
+def run_skew_sweep(
+    app: str,
+    fractions: tuple[float, ...] = (1.0, 0.75, 0.5, 1.0 / 3.0, 0.25, 1.0 / 6.0, 0.0),
+    *,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> dict[float, SimReport]:
+    """A continuum version of Figure 3: sweep the local data fraction.
+
+    The paper samples three skews (50/50, 33/67, 17/83); this sweep fills
+    in the curve between fully-local and fully-cloud data under the same
+    halved (16, 16) / (16, 22) compute split, exposing where the bursting
+    penalty ramps.
+    """
+    from ..config import ComputeSpec, ExperimentConfig, PlacementSpec
+    from .configs import paper_dataset
+
+    cloud_half = 22 if app == "kmeans" else 16
+    out: dict[float, SimReport] = {}
+    for fraction in fractions:
+        config = ExperimentConfig(
+            name=f"skew-{fraction:.2f}",
+            app=app,
+            dataset=paper_dataset(app, scale=scale),
+            placement=PlacementSpec(local_fraction=fraction),
+            compute=ComputeSpec(local_cores=16, cloud_cores=cloud_half),
+            seed=seed,
+        )
+        out[fraction] = simulate(config, calibration)
+    return out
+
+
+def run_iterative_projection(
+    app: str = "pagerank",
+    env: str = "env-50/50",
+    iterations: int = 10,
+    *,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> dict[str, object]:
+    """Project an iterative workload's cost from per-pass simulations.
+
+    The paper evaluates one pass per application, but kmeans and pagerank
+    are iterative in practice: every pass re-reads the dataset and
+    re-exchanges the reduction object. This runner simulates ``iterations``
+    passes (reseeded per pass, so jitter varies) for both the hybrid
+    environment and the centralized baseline, and reports how the
+    *cumulative* bursting overhead decomposes — in particular how much of
+    it is the per-pass reduction-object exchange, a cost the single-pass
+    evaluation understates for iterative workloads.
+    """
+    if iterations <= 0:
+        raise ConfigurationError("iterations must be positive")
+    hybrid_passes: list[SimReport] = []
+    base_passes: list[SimReport] = []
+    for i in range(iterations):
+        pass_seed = seed + 7919 * i
+        hybrid_passes.append(
+            simulate(env_config(app, env, scale=scale, seed=pass_seed),
+                     calibration)
+        )
+        base_passes.append(
+            simulate(env_config(app, "env-local", scale=scale, seed=pass_seed),
+                     calibration)
+        )
+    hybrid_total = sum(r.makespan for r in hybrid_passes)
+    base_total = sum(r.makespan for r in base_passes)
+    robj_total = sum(r.global_reduction for r in hybrid_passes)
+    return {
+        "app": app,
+        "env": env,
+        "iterations": iterations,
+        "hybrid_passes": hybrid_passes,
+        "base_passes": base_passes,
+        "hybrid_total": hybrid_total,
+        "base_total": base_total,
+        "total_overhead": hybrid_total - base_total,
+        "robj_overhead": robj_total,
+    }
+
+
+def run_stealing_ablation(
+    app: str = "knn",
+    envs: tuple[str, ...] = HYBRID_ENVS,
+    *,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> dict[str, tuple[SimReport, SimReport]]:
+    """Work stealing on vs off — the middleware's defining feature.
+
+    With ``allow_stealing=False`` each cluster only processes the data
+    stored at its own site (classic Map-Reduce co-location); under skew
+    the data-poor cluster idles while the data-rich one grinds. Returns
+    ``{env: (with_stealing, without_stealing)}``.
+    """
+    out: dict[str, tuple[SimReport, SimReport]] = {}
+    for env in envs:
+        with_cfg = env_config(app, env, scale=scale, seed=seed)
+        without_cfg = env_config(
+            app, env, scale=scale, seed=seed,
+            tuning=MiddlewareTuning(allow_stealing=False),
+        )
+        out[env] = (
+            simulate(with_cfg, calibration),
+            simulate(without_cfg, calibration),
+        )
+    return out
+
+
+def run_scheduling_ablation(
+    app: str = "knn",
+    env: str = "env-17/83",
+    *,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> dict[str, SimReport]:
+    """Both head-scheduler heuristics on/off (Section III-B's design calls).
+
+    Returns reports keyed ``baseline`` / ``no-consecutive`` / ``no-min-
+    contention`` / ``neither``. The chosen environment maximizes stealing,
+    where both heuristics matter.
+    """
+    variants = {
+        "baseline": MiddlewareTuning(),
+        "no-consecutive": MiddlewareTuning(consecutive_assignment=False),
+        "no-min-contention": MiddlewareTuning(min_contention_stealing=False),
+        "neither": MiddlewareTuning(
+            consecutive_assignment=False, min_contention_stealing=False
+        ),
+    }
+    out: dict[str, SimReport] = {}
+    for label, tuning in variants.items():
+        config = env_config(app, env, scale=scale, tuning=tuning, seed=seed)
+        out[label] = simulate(config, calibration)
+    return out
+
+
+def run_retrieval_ablation(
+    app: str = "knn",
+    env: str = "env-cloud",
+    threads: tuple[int, ...] = (1, 2, 4, 8, 16),
+    *,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> dict[int, SimReport]:
+    """Sweep per-slave retrieval connections (Section III-B's multi-
+    threaded retrieval): per-connection caps make extra connections pay
+    until the site trunk saturates."""
+    out: dict[int, SimReport] = {}
+    for n in threads:
+        config = env_config(
+            app,
+            env,
+            scale=scale,
+            tuning=MiddlewareTuning(retrieval_threads=n),
+            seed=seed,
+        )
+        out[n] = simulate(config, calibration)
+    return out
+
+
+def run_robj_ablation(
+    app: str = "pagerank",
+    env: str = "env-50/50",
+    robj_mb: tuple[int, ...] = (1, 30, 100, 300, 1000),
+    *,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> dict[int, SimReport]:
+    """Sweep reduction-object size (Section IV-B: "if the reduction object
+    size increases relative to input data size, it may not be feasible to
+    use cloud bursting")."""
+    base = get_profile(app)
+    out: dict[int, SimReport] = {}
+    for mb in robj_mb:
+        profile = AppProfile(
+            key=base.key,
+            unit_cost_local=base.unit_cost_local,
+            cloud_slowdown=base.cloud_slowdown,
+            robj_bytes=mb * 1024 * 1024,
+            record_bytes=base.record_bytes,
+            description=base.description,
+        )
+        config = env_config(app, env, scale=scale, seed=seed)
+        out[mb] = simulate(config, calibration, profile=profile)
+    return out

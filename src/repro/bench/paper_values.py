@@ -1,0 +1,101 @@
+"""Numbers transcribed from the paper, for paper-vs-measured reporting.
+
+Sources:
+
+* Table I — jobs processed per cluster and stolen jobs;
+* Table II — global reduction, idle time, total slowdown (seconds);
+* Figure 4 — speedup percentages printed on the plots;
+* Section IV text — headline averages (15.55% mean hybrid slowdown, 81%
+  mean speedup per core-doubling) and per-app slowdown ratios.
+
+Figure 3's absolute bar heights are not tabulated in the paper; the
+comparisons against Figure 3 use Table II's slowdown seconds and the
+ratios quoted in the text instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "FIGURE4_SPEEDUPS",
+    "HEADLINE",
+    "Table1Row",
+    "Table2Row",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    app: str
+    env: str
+    ec2_jobs: int
+    local_jobs: int
+    stolen: int  # jobs the local cluster stole from S3
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    app: str
+    env: str
+    global_reduction: float  # seconds
+    idle_local: float
+    idle_ec2: float
+    total_slowdown: float  # seconds vs env-local
+
+
+TABLE1: tuple[Table1Row, ...] = (
+    Table1Row("knn", "env-50/50", 480, 480, 0),
+    Table1Row("knn", "env-33/67", 576, 384, 64),
+    Table1Row("knn", "env-17/83", 672, 288, 128),
+    Table1Row("kmeans", "env-50/50", 480, 480, 0),
+    Table1Row("kmeans", "env-33/67", 512, 448, 128),
+    Table1Row("kmeans", "env-17/83", 544, 416, 256),
+    Table1Row("pagerank", "env-50/50", 480, 480, 0),
+    Table1Row("pagerank", "env-33/67", 528, 432, 112),
+    Table1Row("pagerank", "env-17/83", 560, 400, 240),
+)
+
+TABLE2: tuple[Table2Row, ...] = (
+    Table2Row("knn", "env-50/50", 0.072, 16.212, 0.0, 6.546),
+    Table2Row("knn", "env-33/67", 0.076, 0.0, 10.556, 34.224),
+    Table2Row("knn", "env-17/83", 0.076, 0.0, 15.743, 96.067),
+    Table2Row("kmeans", "env-50/50", 0.067, 0.0, 93.871, 20.430),
+    Table2Row("kmeans", "env-33/67", 0.066, 0.0, 31.232, 142.403),
+    Table2Row("kmeans", "env-17/83", 0.066, 0.0, 25.101, 243.312),
+    Table2Row("pagerank", "env-50/50", 36.589, 0.0, 17.727, 72.919),
+    Table2Row("pagerank", "env-33/67", 41.320, 0.0, 22.005, 131.321),
+    Table2Row("pagerank", "env-17/83", 42.498, 0.0, 52.056, 214.549),
+)
+
+#: Figure 4 speedups per doubling, in ladder order (4,4)->(8,8)->(16,16)->(32,32).
+FIGURE4_SPEEDUPS: dict[str, tuple[float, float, float]] = {
+    "knn": (82.4, 89.3, 73.3),
+    "kmeans": (86.7, 86.3, 88.3),
+    "pagerank": (85.8, 73.2, 66.4),
+}
+
+#: Headline claims from the abstract and Section IV.
+HEADLINE = {
+    "mean_hybrid_slowdown_pct": 15.55,
+    "mean_speedup_per_doubling_pct": 81.0,
+    "knn_slowdown_ratio_pct": (1.7, 15.4, 45.9),
+    "kmeans_worst_slowdown_ratio_pct": 10.4,
+    "pagerank_slowdown_ratio_pct": (10.5, 16.4, 30.8),
+}
+
+
+def table1_row(app: str, env: str) -> Table1Row:
+    for row in TABLE1:
+        if row.app == app and row.env == env:
+            return row
+    raise KeyError(f"no Table I row for {app}/{env}")
+
+
+def table2_row(app: str, env: str) -> Table2Row:
+    for row in TABLE2:
+        if row.app == app and row.env == env:
+            return row
+    raise KeyError(f"no Table II row for {app}/{env}")

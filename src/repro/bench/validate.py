@@ -1,0 +1,254 @@
+"""Reproduction scorecard: programmatic checks of every headline claim.
+
+:func:`evaluate_claims` runs the full evaluation (Figure 3 and Figure 4
+for all three applications) and grades each claim the paper makes against
+the measured outcome, returning structured :class:`Claim` records the
+scorecard bench and the ``scorecard`` CLI command render.
+
+A claim *passes* when the measured value satisfies the shape band — not
+when it equals the paper's absolute number (the testbed is simulated; see
+EXPERIMENTS.md for the full rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.calibration import PAPER_CALIBRATION, SimCalibration
+from .configs import HYBRID_ENVS
+from .experiments import (
+    PAPER_APPS,
+    Figure3Run,
+    Figure4Run,
+    mean_hybrid_slowdown,
+    run_figure3,
+    run_figure4,
+    table1_rows,
+)
+
+__all__ = ["Claim", "evaluate_claims", "render_scorecard"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One graded claim."""
+
+    claim_id: str
+    description: str
+    paper: str
+    measured: str
+    passed: bool
+
+
+def _fig3_claims(runs: dict[str, Figure3Run]) -> list[Claim]:
+    claims: list[Claim] = []
+
+    mean_pct = mean_hybrid_slowdown(runs) * 100.0
+    claims.append(
+        Claim(
+            "headline-slowdown",
+            "average hybrid slowdown over the 9 runs is modest",
+            "15.55%",
+            f"{mean_pct:.2f}%",
+            0.0 < mean_pct < 35.0,
+        )
+    )
+
+    knn = runs["knn"]
+    claims.append(
+        Claim(
+            "knn-retrieval-bound",
+            "knn retrieval exceeds processing in every environment",
+            "retrieval dominates (Sec. IV-B)",
+            "checked in 5 envs x clusters",
+            all(
+                c.mean_retrieval > c.mean_processing
+                for r in knn.reports.values()
+                for c in r.clusters.values()
+            ),
+        )
+    )
+    claims.append(
+        Claim(
+            "knn-cloud-retrieval",
+            "env-cloud retrieval is shorter than env-local (multi-threaded S3)",
+            "shorter (Sec. IV-B)",
+            f"{knn.reports['env-cloud'].cluster('cloud-cluster').mean_retrieval:.0f}s"
+            f" vs {knn.reports['env-local'].cluster('local-cluster').mean_retrieval:.0f}s",
+            knn.reports["env-cloud"].cluster("cloud-cluster").mean_retrieval
+            < knn.reports["env-local"].cluster("local-cluster").mean_retrieval,
+        )
+    )
+
+    kmeans = runs["kmeans"]
+    worst = max(kmeans.slowdown_ratio(env) for env in HYBRID_ENVS) * 100
+    claims.append(
+        Claim(
+            "kmeans-small-penalty",
+            "compute-bound kmeans bursts with little penalty",
+            "worst case 10.4%",
+            f"worst case {worst:.1f}%",
+            worst < 12.0,
+        )
+    )
+    eff = kmeans.baseline.makespan / kmeans.reports["env-17/83"].makespan * 100
+    claims.append(
+        Claim(
+            "kmeans-17/83-efficiency",
+            "kmeans env-17/83 keeps ~90% of env-local efficiency",
+            ">= ~90%",
+            f"{eff:.1f}%",
+            eff > 85.0,
+        )
+    )
+
+    pagerank = runs["pagerank"]
+    gr = [pagerank.reports[env].global_reduction for env in HYBRID_ENVS]
+    claims.append(
+        Claim(
+            "pagerank-robj-cost",
+            "pagerank's ~300 MB reduction object costs tens of seconds of "
+            "global reduction",
+            "36.6-42.5 s",
+            f"{min(gr):.1f}-{max(gr):.1f} s",
+            all(10.0 < g < 120.0 for g in gr),
+        )
+    )
+    small_gr = [
+        runs[app].reports[env].global_reduction
+        for app in ("knn", "kmeans")
+        for env in HYBRID_ENVS
+    ]
+    claims.append(
+        Claim(
+            "small-robj-cost",
+            "knn/kmeans global reduction is negligible",
+            "66-76 ms",
+            f"{min(small_gr) * 1000:.0f}-{max(small_gr) * 1000:.0f} ms",
+            all(g < 1.0 for g in small_gr),
+        )
+    )
+
+    for app, run in runs.items():
+        ratios = [run.slowdown_ratio(env) for env in HYBRID_ENVS]
+        claims.append(
+            Claim(
+                f"{app}-skew-ramp",
+                f"{app}: slowdown grows from 50/50 to 17/83",
+                "monotone growth (Table II)",
+                "/".join(f"{r * 100:.1f}%" for r in ratios),
+                ratios[2] >= ratios[0] - 0.02,
+            )
+        )
+
+    stolen_zero = all(
+        row["stolen"] <= 40
+        for app, run in runs.items()
+        for row in table1_rows(run)
+        if row["env"] == "env-50/50"
+    )
+    claims.append(
+        Claim(
+            "5050-balanced",
+            "env-50/50 needs (almost) no stealing for any app",
+            "0 stolen (Table I)",
+            "checked 3 apps",
+            stolen_zero,
+        )
+    )
+    stolen_monotone = True
+    for run in runs.values():
+        by_env = {r["env"]: r["stolen"] for r in table1_rows(run)}
+        ordered = [by_env[env] for env in HYBRID_ENVS]
+        if not ordered[0] <= ordered[1] <= ordered[2]:
+            stolen_monotone = False
+    claims.append(
+        Claim(
+            "stealing-monotone",
+            "stolen jobs grow with data skew for every app",
+            "64->128 / 128->256 / 112->240 (Table I)",
+            "checked 3 apps",
+            stolen_monotone,
+        )
+    )
+    return claims
+
+
+def _fig4_claims(runs: dict[str, Figure4Run]) -> list[Claim]:
+    claims: list[Claim] = []
+    speedups = {app: run.speedups() for app, run in runs.items()}
+    mean = sum(sum(s) for s in speedups.values()) / sum(
+        len(s) for s in speedups.values()
+    )
+    claims.append(
+        Claim(
+            "headline-speedup",
+            "average speedup per core-doubling",
+            "81%",
+            f"{mean:.1f}%",
+            60.0 < mean < 100.0,
+        )
+    )
+    claims.append(
+        Claim(
+            "kmeans-scales-best",
+            "compute-bound kmeans has the best mean scalability",
+            "86-88% per doubling",
+            f"{sum(speedups['kmeans']) / 3:.1f}%",
+            sum(speedups["kmeans"]) >= max(
+                sum(speedups["knn"]), sum(speedups["pagerank"])
+            ),
+        )
+    )
+    claims.append(
+        Claim(
+            "pagerank-fixed-cost",
+            "pagerank's last doubling is its worst (fixed robj exchange)",
+            "85.8 -> 66.4%",
+            "/".join(f"{s:.1f}%" for s in speedups["pagerank"]),
+            speedups["pagerank"][-1] < speedups["pagerank"][0],
+        )
+    )
+    for app, run in runs.items():
+        names = [f"({m},{m})" for m in run.ladder]
+        makespans = [run.reports[n].makespan for n in names]
+        claims.append(
+            Claim(
+                f"{app}-monotone-scaling",
+                f"{app}: makespan falls at every doubling",
+                "monotone (Fig. 4)",
+                "/".join(f"{m:.0f}s" for m in makespans),
+                all(a > b for a, b in zip(makespans, makespans[1:])),
+            )
+        )
+    return claims
+
+
+def evaluate_claims(
+    *,
+    scale: float = 1.0,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    seed: int = 2011,
+) -> list[Claim]:
+    """Run the whole evaluation and grade every claim."""
+    fig3 = {app: run_figure3(app, scale=scale, calibration=calibration, seed=seed)
+            for app in PAPER_APPS}
+    fig4 = {app: run_figure4(app, scale=scale, calibration=calibration, seed=seed)
+            for app in PAPER_APPS}
+    return _fig3_claims(fig3) + _fig4_claims(fig4)
+
+
+def render_scorecard(claims: list[Claim]) -> str:
+    """ASCII scorecard of all graded claims."""
+    from .reporting import render_table
+
+    rows = [
+        ("PASS" if c.passed else "FAIL", c.claim_id, c.paper, c.measured,
+         c.description)
+        for c in claims
+    ]
+    passed = sum(c.passed for c in claims)
+    header = f"Reproduction scorecard: {passed}/{len(claims)} claims hold\n"
+    return header + render_table(
+        ("", "claim", "paper", "measured", "description"), rows
+    )

@@ -1,0 +1,429 @@
+"""Command-line interface.
+
+`python -m repro <command>` drives the simulator and the harness without
+writing any code:
+
+.. code-block:: console
+
+    python -m repro apps                      # list applications
+    python -m repro simulate knn env-33/67    # one configuration
+    python -m repro figure3 pagerank          # one sub-figure sweep
+    python -m repro figure4 kmeans
+    python -m repro table1                    # all apps
+    python -m repro table2
+    python -m repro cost knn                  # dollar costs per env
+
+Every command prints the same report blocks the benches do. ``--scale``
+shrinks the dataset (same 960-job structure) for quick looks; ``--seed``
+reseeds the jitter models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .apps import available_apps
+from .apps.base import get_profile
+from .bench.configs import ENV_NAMES, env_config, figure3_configs
+from .bench.cost import price_run
+from .bench.experiments import (
+    PAPER_APPS,
+    mean_hybrid_slowdown,
+    run_figure3,
+    run_figure4,
+)
+from .bench.reporting import (
+    render_figure3,
+    render_figure4,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from .errors import ConfigurationError, ReproError
+from .sim.simulation import simulate
+from .units import fmt_seconds
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Framework for Data-Intensive Computing with "
+            "Cloud Bursting' (CLUSTER 2011)"
+        ),
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (1.0 = the paper's 120 GB)",
+    )
+    parser.add_argument("--seed", type=int, default=2011, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list registered applications")
+
+    p = sub.add_parser("simulate", help="simulate one configuration")
+    p.add_argument("app")
+    p.add_argument("env", choices=ENV_NAMES)
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON (for scripting)")
+
+    for name in ("figure3", "figure4"):
+        p = sub.add_parser(name, help=f"regenerate {name} for one app")
+        p.add_argument("app")
+
+    sub.add_parser("table1", help="regenerate Table I (all apps)")
+    sub.add_parser("table2", help="regenerate Table II (all apps)")
+
+    p = sub.add_parser("cost", help="price each environment for one app")
+    p.add_argument("app")
+
+    sub.add_parser(
+        "scorecard", help="run the full evaluation and grade every claim"
+    )
+
+    p = sub.add_parser(
+        "generate", help="materialize a synthetic dataset + index on disk"
+    )
+    p.add_argument("app")
+    p.add_argument("--out", required=True, help="output directory")
+    p.add_argument("--units", type=int, default=65536, help="total data units")
+    p.add_argument("--files", type=int, default=8)
+    p.add_argument("--chunks-per-file", type=int, default=4)
+    p.add_argument("--local-fraction", type=float, default=0.5)
+
+    p = sub.add_parser(
+        "run", help="execute an app over a generated dataset (real runtime)"
+    )
+    p.add_argument("dataset", help="directory produced by `generate`")
+    p.add_argument("--local-cores", type=int, default=2)
+    p.add_argument("--cloud-cores", type=int, default=2)
+
+    p = sub.add_parser(
+        "trace", help="simulate one configuration and render a Gantt chart"
+    )
+    p.add_argument("app")
+    p.add_argument("env", choices=ENV_NAMES)
+    p.add_argument("--width", type=int, default=72)
+
+    p = sub.add_parser(
+        "multisite", help="simulate an N-site experiment from a JSON config"
+    )
+    p.add_argument("config", help="path to a multisite JSON document")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+
+    p = sub.add_parser("sweep", help="data-skew continuum for one app")
+    p.add_argument("app")
+
+    p = sub.add_parser("stealing", help="work stealing on/off for one app")
+    p.add_argument("app")
+
+    p = sub.add_parser(
+        "iterative", help="project a multi-pass (iterative) workload"
+    )
+    p.add_argument("app")
+    p.add_argument("--env", default="env-50/50", choices=ENV_NAMES)
+    p.add_argument("--iterations", type=int, default=10)
+    return parser
+
+
+def _cmd_apps(args: argparse.Namespace) -> None:
+    rows = []
+    for key in available_apps():
+        profile = get_profile(key)
+        rows.append((key, profile.record_bytes, profile.robj_bytes,
+                     profile.description))
+    print(render_table(("app", "record B", "robj B", "description"), rows))
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    config = env_config(args.app, args.env, scale=args.scale, seed=args.seed)
+    report = simulate(config)
+    if args.json:
+        print(report.to_json())
+        return
+    print(config.describe())
+    print(f"makespan: {fmt_seconds(report.makespan)} s")
+    print(f"global reduction: {fmt_seconds(report.global_reduction)} s")
+    rows = [
+        (c.site, c.cores, c.jobs_processed, c.jobs_stolen,
+         fmt_seconds(c.mean_processing), fmt_seconds(c.mean_retrieval),
+         fmt_seconds(c.sync), fmt_seconds(c.idle))
+        for c in report.clusters.values()
+    ]
+    print(render_table(
+        ("cluster", "cores", "jobs", "stolen", "proc", "retr", "sync", "idle"),
+        rows,
+    ))
+
+
+def _cmd_figure3(args: argparse.Namespace) -> None:
+    run = run_figure3(args.app, scale=args.scale, seed=args.seed)
+    print(render_figure3(run))
+
+
+def _cmd_figure4(args: argparse.Namespace) -> None:
+    run = run_figure4(args.app, scale=args.scale, seed=args.seed)
+    print(render_figure4(run))
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    runs = {app: run_figure3(app, scale=args.scale, seed=args.seed)
+            for app in PAPER_APPS}
+    print(render_table1(runs))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    runs = {app: run_figure3(app, scale=args.scale, seed=args.seed)
+            for app in PAPER_APPS}
+    print(render_table2(runs))
+    mean = mean_hybrid_slowdown(runs) * 100
+    print(f"\nAverage hybrid slowdown: {mean:.2f}% (paper: 15.55%)")
+
+
+def _cmd_cost(args: argparse.Namespace) -> None:
+    run = run_figure3(args.app, scale=args.scale, seed=args.seed)
+    configs = figure3_configs(args.app, scale=args.scale, seed=args.seed)
+    rows = []
+    for env in ENV_NAMES:
+        cost = price_run(configs[env], run.reports[env])
+        rows.append(
+            (env, f"{run.reports[env].makespan:.0f}s",
+             f"${cost.ec2_compute:.2f}", f"${cost.s3_egress:.2f}",
+             f"${cost.cloud_total:.2f}", f"${cost.total:.2f}")
+        )
+    print(render_table(
+        ("env", "makespan", "EC2", "S3 egress", "cloud bill", "total"), rows
+    ))
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> None:
+    from .bench.validate import evaluate_claims, render_scorecard
+
+    claims = evaluate_claims(scale=args.scale, seed=args.seed)
+    print(render_scorecard(claims))
+
+
+_DATASET_META = "dataset.json"
+
+
+def _cmd_generate(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from .apps import make_bundle
+    from .config import CLOUD_SITE, DatasetSpec, LOCAL_SITE, PlacementSpec
+    from .data.dataset import build_dataset
+    from .storage.localfs import LocalStorage
+
+    bundle = make_bundle(args.app, args.units, seed=args.seed)
+    record = bundle.schema.record_bytes
+    chunks = args.files * args.chunks_per_file
+    if args.units % chunks != 0:
+        raise ConfigurationError(
+            f"--units must be divisible by files*chunks ({chunks})"
+        )
+    spec = DatasetSpec(
+        total_bytes=args.units * record,
+        num_files=args.files,
+        chunk_bytes=(args.units // chunks) * record,
+        record_bytes=record,
+    )
+    out = Path(args.out)
+    stores = {
+        LOCAL_SITE: LocalStorage(out / "local"),
+        CLOUD_SITE: LocalStorage(out / "cloud"),
+    }
+    index = build_dataset(
+        spec, PlacementSpec(args.local_fraction), bundle.schema,
+        bundle.block_fn, stores,
+    )
+    index.save(out / "index.json")
+    (out / _DATASET_META).write_text(
+        json.dumps(
+            {
+                "app": args.app,
+                "units": args.units,
+                "seed": args.seed,
+                "total_bytes": spec.total_bytes,
+            },
+            indent=2,
+        )
+    )
+    print(f"wrote {spec.num_chunks} chunks ({spec.total_bytes} bytes) to {out}")
+    print(f"index: {out / 'index.json'}")
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from .apps import make_bundle
+    from .config import CLOUD_SITE, ComputeSpec, LOCAL_SITE
+    from .core.index import DataIndex
+    from .runtime.driver import CloudBurstingRuntime
+    from .storage.localfs import LocalStorage
+
+    root = Path(args.dataset)
+    meta_path = root / _DATASET_META
+    if not meta_path.is_file():
+        raise ConfigurationError(
+            f"{root} does not look like a generated dataset (no {_DATASET_META})"
+        )
+    meta = json.loads(meta_path.read_text())
+    bundle = make_bundle(meta["app"], meta["units"], seed=meta["seed"])
+    index = DataIndex.load(root / "index.json")
+    stores = {
+        LOCAL_SITE: LocalStorage(root / "local"),
+        CLOUD_SITE: LocalStorage(root / "cloud"),
+    }
+    runtime = CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=args.local_cores, cloud_cores=args.cloud_cores),
+    )
+    result = runtime.run()
+    value = result.value
+    print(f"app: {meta['app']}  wall: {result.telemetry.wall_seconds:.3f}s")
+    if isinstance(value, np.ndarray):
+        print(f"result: ndarray shape={value.shape} "
+              f"head={np.asarray(value).ravel()[:4]}")
+    elif isinstance(value, dict):
+        head = sorted(value.items())[:4]
+        print(f"result: dict of {len(value)} entries, head={head}")
+    else:
+        seq = list(value)[:4] if hasattr(value, "__iter__") else value
+        print(f"result: {seq}")
+    for name, cluster in result.telemetry.clusters.items():
+        print(f"{name}: {cluster.jobs} jobs ({cluster.stolen} stolen)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from .sim.simulation import CloudBurstSimulation
+    from .sim.trace import TraceRecorder, render_gantt, utilization
+
+    trace = TraceRecorder()
+    config = env_config(args.app, args.env, scale=args.scale, seed=args.seed)
+    report = CloudBurstSimulation(config, trace=trace).run()
+    print(f"{config.describe()}\nmakespan {fmt_seconds(report.makespan)} s, "
+          f"{len(trace)} trace events\n")
+    print(render_gantt(trace, report.makespan, width=args.width))
+    util = utilization(trace, report.makespan)
+    mean_idle = sum(u["idle"] for u in util.values()) / len(util)
+    print(f"\nmean worker idle fraction: {mean_idle * 100:.1f}%")
+
+
+def _cmd_multisite(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .sim.multisite import MultiSiteSimulation, load_multisite_config
+
+    config = load_multisite_config(Path(args.config).read_text())
+    report = MultiSiteSimulation(config).run()
+    if args.json:
+        print(report.to_json())
+        return
+    print(f"{config.name}: app={config.app} sites={len(config.sites)} "
+          f"head={config.head}")
+    print(f"makespan {fmt_seconds(report.makespan)} s, "
+          f"global reduction {fmt_seconds(report.global_reduction)} s")
+    rows = [
+        (c.site, c.cores, c.jobs_processed, c.jobs_stolen,
+         fmt_seconds(c.mean_processing), fmt_seconds(c.mean_retrieval),
+         fmt_seconds(c.sync))
+        for c in report.clusters.values()
+    ]
+    print(render_table(
+        ("site", "cores", "jobs", "stolen", "proc", "retr", "sync"), rows
+    ))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from .bench.experiments import run_skew_sweep
+
+    sweep = run_skew_sweep(args.app, scale=args.scale, seed=args.seed)
+    rows = []
+    for fraction, report in sweep.items():
+        stolen = sum(c.jobs_stolen for c in report.clusters.values())
+        rows.append(
+            (f"{fraction * 100:.0f}% local", fmt_seconds(report.makespan),
+             stolen)
+        )
+    print(f"Data-skew continuum ({args.app}, halved hybrid compute)")
+    print(render_table(("placement", "makespan (s)", "stolen"), rows))
+    best = min(sweep, key=lambda f: sweep[f].makespan)
+    print(f"\nbest placement: {best * 100:.0f}% local "
+          f"({fmt_seconds(sweep[best].makespan)} s)")
+
+
+def _cmd_stealing(args: argparse.Namespace) -> None:
+    from .bench.experiments import run_stealing_ablation
+
+    results = run_stealing_ablation(args.app, scale=args.scale, seed=args.seed)
+    rows = []
+    for env, (with_steal, without) in results.items():
+        gain = (without.makespan / with_steal.makespan - 1) * 100
+        rows.append(
+            (env, fmt_seconds(with_steal.makespan),
+             fmt_seconds(without.makespan), f"{gain:+.1f}%")
+        )
+    print(f"Work stealing on vs off ({args.app})")
+    print(render_table(
+        ("env", "stealing (s)", "no stealing (s)", "stealing gain"), rows
+    ))
+
+
+def _cmd_iterative(args: argparse.Namespace) -> None:
+    from .bench.experiments import run_iterative_projection
+
+    result = run_iterative_projection(
+        args.app, args.env, args.iterations, scale=args.scale, seed=args.seed
+    )
+    print(f"{args.app} x {args.iterations} iterations ({args.env} vs env-local)")
+    rows = [
+        ("hybrid total", f"{result['hybrid_total']:.0f} s"),
+        ("centralized total", f"{result['base_total']:.0f} s"),
+        ("cumulative overhead", f"{result['total_overhead']:.0f} s"),
+        ("of which robj exchange", f"{result['robj_overhead']:.0f} s"),
+    ]
+    print(render_table(("quantity", "value"), rows))
+
+
+_COMMANDS = {
+    "apps": _cmd_apps,
+    "scorecard": _cmd_scorecard,
+    "generate": _cmd_generate,
+    "run": _cmd_run,
+    "trace": _cmd_trace,
+    "multisite": _cmd_multisite,
+    "sweep": _cmd_sweep,
+    "stealing": _cmd_stealing,
+    "iterative": _cmd_iterative,
+    "simulate": _cmd_simulate,
+    "figure3": _cmd_figure3,
+    "figure4": _cmd_figure4,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "cost": _cmd_cost,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

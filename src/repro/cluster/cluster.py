@@ -1,0 +1,72 @@
+"""Cluster descriptions: a named group of nodes at one site."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CLOUD_SITE, LOCAL_SITE
+from ..errors import ConfigurationError
+from .node import EC2_M1_LARGE, LOCAL_XEON, NodeSpec
+
+__all__ = ["ClusterSpec", "local_cluster", "cloud_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: ``num_nodes`` copies of one node spec.
+
+    ``cores`` may be capped below the hardware total so an experiment can
+    allocate, say, 16 of the campus cluster's cores — the paper varies
+    active cores per configuration, not node counts.
+    """
+
+    name: str
+    site: str
+    node: NodeSpec
+    num_nodes: int
+    active_cores: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError("a cluster needs at least one node")
+        if not 0 < self.active_cores <= self.num_nodes * self.node.cores:
+            raise ConfigurationError(
+                f"active_cores={self.active_cores} outside 1..{self.num_nodes * self.node.cores}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    def slave_count(self) -> int:
+        """One slave process per active core — the simulator's granularity.
+
+        The paper's slaves are multi-threaded node processes; modeling one
+        worker per core preserves the aggregate throughput and the pooling
+        dynamics, which is what the evaluation measures.
+        """
+        return self.active_cores
+
+
+def local_cluster(active_cores: int, name: str = "campus") -> ClusterSpec:
+    """Campus cluster sized to ``active_cores`` (8-core Xeon nodes)."""
+    nodes = max(1, -(-active_cores // LOCAL_XEON.cores))
+    return ClusterSpec(
+        name=name,
+        site=LOCAL_SITE,
+        node=LOCAL_XEON,
+        num_nodes=nodes,
+        active_cores=active_cores,
+    )
+
+
+def cloud_cluster(active_cores: int, name: str = "ec2") -> ClusterSpec:
+    """EC2 cluster of m1.large instances sized to ``active_cores``."""
+    nodes = max(1, -(-active_cores // EC2_M1_LARGE.cores))
+    return ClusterSpec(
+        name=name,
+        site=CLOUD_SITE,
+        node=EC2_M1_LARGE,
+        num_nodes=nodes,
+        active_cores=active_cores,
+    )

@@ -1,0 +1,70 @@
+"""Compute node description.
+
+The paper's two node types: campus Intel Xeon nodes (8 cores, 6 GB DDR400)
+and EC2 ``m1.large`` instances (2 virtual cores, 7.5 GB). Memory bounds the
+chunk size a slave can hold; cache size bounds the unit group handed to one
+local-reduction call (Section III-B's data organization rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import GB, MB
+
+__all__ = ["NodeSpec", "LOCAL_XEON", "EC2_M1_LARGE"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one compute node."""
+
+    name: str
+    cores: int
+    memory_bytes: int
+    cache_bytes: int
+    #: Relative per-core compute speed; 1.0 is a campus Xeon core. The
+    #: paper's EC2 compute units are "equivalent to a 1.7 GHz Xeon", i.e.
+    #: slower for compute-bound work — the per-app gap is captured in
+    #: AppProfile.cloud_slowdown, so the node-level default stays 1.0.
+    core_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("a node needs at least one core")
+        if self.memory_bytes <= 0 or self.cache_bytes <= 0:
+            raise ConfigurationError("memory and cache sizes must be positive")
+        if self.core_speed <= 0:
+            raise ConfigurationError("core_speed must be positive")
+
+    def max_chunk_bytes(self, resident_fraction: float = 0.5) -> int:
+        """Largest chunk a slave should buffer, per the memory-driven
+        chunk-size rule of Section III-B."""
+        if not 0.0 < resident_fraction <= 1.0:
+            raise ConfigurationError("resident_fraction must be in (0, 1]")
+        return int(self.memory_bytes * resident_fraction / self.cores)
+
+    def units_per_group(self, record_bytes: int, cache_fraction: float = 0.5) -> int:
+        """Unit-group size that fits the per-core cache."""
+        if record_bytes <= 0:
+            raise ConfigurationError("record_bytes must be positive")
+        usable = self.cache_bytes * cache_fraction
+        return max(1, int(usable / record_bytes))
+
+
+#: Campus cluster node: Intel Xeon, 8 cores, 6 GB DDR400 (Section IV-A).
+LOCAL_XEON = NodeSpec(
+    name="local-xeon",
+    cores=8,
+    memory_bytes=6 * GB,
+    cache_bytes=4 * MB,
+)
+
+#: EC2 Large instance: 2 virtual cores, 7.5 GB, "high I/O" (Section IV-A).
+EC2_M1_LARGE = NodeSpec(
+    name="ec2-m1.large",
+    cores=2,
+    memory_bytes=7 * GB + 512 * MB,
+    cache_bytes=4 * MB,
+)

@@ -1,0 +1,304 @@
+"""Validated configuration objects shared by the runtime and the simulator.
+
+The configuration layer mirrors the knobs the paper exposes:
+
+* the dataset shape (Section III-B *Data Organization*: files, chunks,
+  units) — :class:`DatasetSpec`;
+* the placement of data between the local cluster and cloud storage
+  (Section IV-B's ``env-*`` configurations) — :class:`PlacementSpec`;
+* the compute split between the two sites — :class:`ComputeSpec`;
+* middleware tunables (job-group size, pool low-water mark, retrieval
+  threads) — :class:`MiddlewareTuning`;
+* the whole experiment — :class:`ExperimentConfig`.
+
+All specs are frozen dataclasses validated in ``__post_init__`` so that an
+invalid experiment fails at construction, not mid-run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+from .units import GB, MB
+
+__all__ = [
+    "LOCAL_SITE",
+    "CLOUD_SITE",
+    "DatasetSpec",
+    "PlacementSpec",
+    "ComputeSpec",
+    "MiddlewareTuning",
+    "ExperimentConfig",
+]
+
+#: Canonical site names. The paper has exactly two sites: the campus
+#: cluster ("local") and AWS ("cloud" = EC2 compute + S3 storage). The
+#: architecture generalizes to more sites; these two are the ones every
+#: experiment uses.
+LOCAL_SITE = "local"
+CLOUD_SITE = "cloud"
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape of a dataset in the three-granularity organization.
+
+    The paper's datasets are 120 GB split into 32 files and 960 jobs
+    (one job per 128 MB chunk). ``record_bytes`` is the size of one *data
+    unit*, the atomic element (a point for knn/kmeans, an edge for
+    pagerank).
+    """
+
+    total_bytes: int
+    num_files: int
+    chunk_bytes: int
+    record_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.total_bytes > 0, "dataset total_bytes must be positive")
+        _require(self.num_files > 0, "dataset num_files must be positive")
+        _require(self.chunk_bytes > 0, "dataset chunk_bytes must be positive")
+        _require(self.record_bytes > 0, "dataset record_bytes must be positive")
+        _require(
+            self.total_bytes % self.num_files == 0,
+            "total_bytes must divide evenly into num_files "
+            f"({self.total_bytes} / {self.num_files})",
+        )
+        file_bytes = self.total_bytes // self.num_files
+        _require(
+            file_bytes % self.chunk_bytes == 0,
+            "each file must hold a whole number of chunks "
+            f"(file={file_bytes} B, chunk={self.chunk_bytes} B)",
+        )
+        _require(
+            self.chunk_bytes % self.record_bytes == 0,
+            "a chunk must hold a whole number of records "
+            f"(chunk={self.chunk_bytes} B, record={self.record_bytes} B)",
+        )
+
+    @property
+    def file_bytes(self) -> int:
+        """Size of one data file."""
+        return self.total_bytes // self.num_files
+
+    @property
+    def chunks_per_file(self) -> int:
+        return self.file_bytes // self.chunk_bytes
+
+    @property
+    def num_chunks(self) -> int:
+        """Total chunks == total jobs (one job per chunk)."""
+        return self.num_files * self.chunks_per_file
+
+    @property
+    def units_per_chunk(self) -> int:
+        return self.chunk_bytes // self.record_bytes
+
+    @property
+    def total_units(self) -> int:
+        return self.num_chunks * self.units_per_chunk
+
+    @staticmethod
+    def paper(record_bytes: int = 8) -> "DatasetSpec":
+        """The dataset shape used throughout the paper's evaluation:
+        120 GB, 32 files, 960 jobs (128 MB chunks)."""
+        return DatasetSpec(
+            total_bytes=120 * GB,
+            num_files=32,
+            chunk_bytes=128 * MB,
+            record_bytes=record_bytes,
+        )
+
+    def scaled(self, factor: float) -> "DatasetSpec":
+        """Return a smaller/larger dataset with the same file/chunk counts.
+
+        Used by tests and smoke benches to shrink the paper's 120 GB shape
+        to something that simulates in milliseconds while preserving the
+        job structure (same number of files and chunks).
+        """
+        _require(factor > 0, "scale factor must be positive")
+        new_chunk = max(self.record_bytes, int(self.chunk_bytes * factor))
+        # Round to a whole number of records.
+        new_chunk -= new_chunk % self.record_bytes
+        new_chunk = max(new_chunk, self.record_bytes)
+        new_total = new_chunk * self.chunks_per_file * self.num_files
+        return DatasetSpec(
+            total_bytes=new_total,
+            num_files=self.num_files,
+            chunk_bytes=new_chunk,
+            record_bytes=self.record_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """How the dataset's files are split between local storage and S3.
+
+    ``local_fraction`` is the fraction of *files* hosted on the local
+    storage node; the remainder live in the cloud object store. The paper's
+    env-50/50, env-33/67 and env-17/83 configurations correspond to
+    fractions 0.5, 1/3 and 1/6 respectively (40 GB and 20 GB of 120 GB).
+    """
+
+    local_fraction: float
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 <= self.local_fraction <= 1.0,
+            f"local_fraction must be in [0, 1], got {self.local_fraction}",
+        )
+
+    def local_files(self, num_files: int) -> int:
+        """Number of files placed locally (rounded to nearest whole file)."""
+        return int(round(self.local_fraction * num_files))
+
+    def split(self, num_files: int) -> tuple[int, int]:
+        """Return ``(local_file_count, cloud_file_count)``."""
+        local = self.local_files(num_files)
+        return local, num_files - local
+
+
+@dataclass(frozen=True)
+class ComputeSpec:
+    """Cores allocated at each site.
+
+    The paper halves aggregate compute for hybrid runs: e.g. knn uses
+    (32, 0), (0, 32), (16, 16). kmeans uses 44/22 cloud cores because EC2
+    cores are slower for compute-bound work.
+    """
+
+    local_cores: int
+    cloud_cores: int
+
+    def __post_init__(self) -> None:
+        _require(self.local_cores >= 0, "local_cores must be >= 0")
+        _require(self.cloud_cores >= 0, "cloud_cores must be >= 0")
+        _require(
+            self.local_cores + self.cloud_cores > 0,
+            "at least one core must be allocated",
+        )
+
+    @property
+    def total_cores(self) -> int:
+        return self.local_cores + self.cloud_cores
+
+    @property
+    def active_sites(self) -> tuple[str, ...]:
+        sites = []
+        if self.local_cores > 0:
+            sites.append(LOCAL_SITE)
+        if self.cloud_cores > 0:
+            sites.append(CLOUD_SITE)
+        return tuple(sites)
+
+    def cores_at(self, site: str) -> int:
+        if site == LOCAL_SITE:
+            return self.local_cores
+        if site == CLOUD_SITE:
+            return self.cloud_cores
+        raise ConfigurationError(f"unknown site {site!r}")
+
+    def label(self) -> str:
+        """The ``(m, n)`` label used under the paper's figures."""
+        return f"({self.local_cores},{self.cloud_cores})"
+
+
+@dataclass(frozen=True)
+class MiddlewareTuning:
+    """Tunable middleware parameters.
+
+    * ``job_group_size`` — how many consecutive jobs the head hands a
+      master per request (the sequential-read optimization groups jobs
+      from one file);
+    * ``pool_low_water`` — a master asks the head for more jobs when its
+      pool drops to this size;
+    * ``retrieval_threads`` — connections each slave opens for remote
+      chunk retrieval (Section III-B: "multiple retrieval threads");
+    * ``units_per_group`` — data units handed to one local-reduction call
+      (sized to the processing unit's cache);
+    * ``consecutive_assignment`` / ``min_contention_stealing`` — ablation
+      switches for the two head-scheduler heuristics;
+    * ``allow_stealing`` — switch off remote-job assignment entirely
+      (clusters only ever process data stored at their own site — the
+      co-location constraint of classic Map-Reduce deployments that the
+      paper's middleware exists to remove).
+    """
+
+    job_group_size: int = 8
+    pool_low_water: int = 2
+    retrieval_threads: int = 4
+    units_per_group: int = 4096
+    consecutive_assignment: bool = True
+    min_contention_stealing: bool = True
+    allow_stealing: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.job_group_size > 0, "job_group_size must be positive")
+        _require(self.pool_low_water >= 0, "pool_low_water must be >= 0")
+        _require(self.retrieval_threads > 0, "retrieval_threads must be positive")
+        _require(self.units_per_group > 0, "units_per_group must be positive")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A complete cloud-bursting experiment.
+
+    ``name`` follows the paper's labels (``env-local``, ``env-cloud``,
+    ``env-50/50``...). ``app`` is an application key registered in
+    :mod:`repro.apps`.
+    """
+
+    name: str
+    app: str
+    dataset: DatasetSpec
+    placement: PlacementSpec
+    compute: ComputeSpec
+    tuning: MiddlewareTuning = field(default_factory=MiddlewareTuning)
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "experiment name must be non-empty")
+        _require(bool(self.app), "application key must be non-empty")
+        # A site with zero compute but all the data is legal (the paper's
+        # env-cloud stores nothing locally); a site with compute but no
+        # storage anywhere is not.
+        local_files, cloud_files = self.placement.split(self.dataset.num_files)
+        _require(
+            local_files + cloud_files == self.dataset.num_files,
+            "placement must cover every file",
+        )
+
+    @property
+    def local_files(self) -> int:
+        return self.placement.local_files(self.dataset.num_files)
+
+    @property
+    def cloud_files(self) -> int:
+        return self.dataset.num_files - self.local_files
+
+    def with_tuning(self, **changes: object) -> "ExperimentConfig":
+        """Return a copy with some tuning knobs replaced (ablation helper)."""
+        return replace(self, tuning=replace(self.tuning, **changes))
+
+    def describe(self) -> str:
+        """One-line human description, e.g. for bench harness output."""
+        pct_local = self.placement.local_fraction * 100.0
+        return (
+            f"{self.name}: app={self.app} data={pct_local:.0f}%local/"
+            f"{100 - pct_local:.0f}%cloud cores={self.compute.label()} "
+            f"jobs={self.dataset.num_chunks}"
+        )
+
+
+def halved(compute: ComputeSpec) -> ComputeSpec:
+    """Half the aggregate cores, split evenly — the paper's hybrid setup."""
+    total = compute.total_cores
+    half = math.ceil(total / 2)
+    return ComputeSpec(local_cores=half, cloud_cores=total - half)

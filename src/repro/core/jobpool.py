@@ -1,0 +1,134 @@
+"""Master-side job pool with group-completion accounting.
+
+Each cluster's master keeps a pool of jobs received from the head
+(Section III-B). Slaves drain the pool one job at a time; when the pool
+falls to its low-water mark the master asks the head for another group.
+The pool also tracks which head-assigned group each job belongs to so the
+master can acknowledge group completion — the signal the head uses to
+maintain per-file reader counts for its contention-minimizing heuristic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import SchedulingError
+from .job import Job, JobGroup
+
+__all__ = ["JobPool"]
+
+
+class JobPool:
+    """FIFO pool of jobs plus per-group outstanding-job accounting."""
+
+    def __init__(self, low_water: int = 2) -> None:
+        if low_water < 0:
+            raise SchedulingError("low_water must be >= 0")
+        self.low_water = low_water
+        self._queue: deque[Job] = deque()
+        self._group_of: dict[int, int] = {}  # job_id -> group_id
+        self._outstanding: dict[int, int] = {}  # group_id -> unfinished jobs
+        self._seen_jobs: set[int] = set()
+        self._inflight: set[int] = set()  # job ids taken but not done
+        self.jobs_added = 0
+        self.jobs_taken = 0
+        self.jobs_done = 0
+
+    # -- filling -----------------------------------------------------------
+
+    def add_group(self, group: JobGroup) -> None:
+        """Add a head-assigned group to the pool.
+
+        Rejects jobs the pool has already seen — a job must be processed
+        exactly once, and double assignment is a head-scheduler bug we want
+        to surface loudly.
+        """
+        if group.group_id in self._outstanding:
+            raise SchedulingError(f"group {group.group_id} added twice")
+        for job in group.jobs:
+            if job.job_id in self._seen_jobs:
+                raise SchedulingError(f"job {job.job_id} added to pool twice")
+        for job in group.jobs:
+            self._seen_jobs.add(job.job_id)
+            self._group_of[job.job_id] = group.group_id
+            self._queue.append(job)
+        self._outstanding[group.group_id] = len(group.jobs)
+        self.jobs_added += len(group.jobs)
+
+    #: Group id used for re-executed jobs whose original group already
+    #: completed; recovery groups are master-local and never acknowledged
+    #: to the head (the head's reader accounting saw the first completion).
+    RECOVERY_GROUP = -1
+
+    def requeue(self, jobs: list[Job]) -> None:
+        """Re-insert jobs lost with a failed worker (fault recovery).
+
+        In-flight jobs (taken, never finished) keep their original group so
+        the eventual completion acknowledges normally. Already-finished
+        jobs re-enter under :data:`RECOVERY_GROUP`: their group completion
+        was already acknowledged and must not be double-counted.
+        """
+        for job in jobs:
+            if job.job_id not in self._seen_jobs:
+                raise SchedulingError(
+                    f"cannot requeue job {job.job_id}: it was never pooled"
+                )
+            if job.job_id not in self._group_of:
+                # Finished previously; redo under the recovery group.
+                self._group_of[job.job_id] = self.RECOVERY_GROUP
+            self._inflight.discard(job.job_id)
+            self._queue.append(job)
+
+    # -- draining ----------------------------------------------------------
+
+    def take(self) -> Job | None:
+        """Hand out the next job, or ``None`` when the pool is empty."""
+        if not self._queue:
+            return None
+        self.jobs_taken += 1
+        job = self._queue.popleft()
+        self._inflight.add(job.job_id)
+        return job
+
+    def mark_done(self, job_id: int) -> int | None:
+        """Record that a slave finished ``job_id``.
+
+        Returns the group id if this completion finished its whole group
+        (the master should then acknowledge that group to the head), else
+        ``None``.
+        """
+        group_id = self._group_of.pop(job_id, None)
+        if group_id is None:
+            raise SchedulingError(f"job {job_id} finished but was never pooled")
+        self.jobs_done += 1
+        self._inflight.discard(job_id)
+        if group_id == self.RECOVERY_GROUP:
+            return None
+        remaining = self._outstanding[group_id] - 1
+        if remaining < 0:  # pragma: no cover - guarded by _group_of pop
+            raise SchedulingError(f"group {group_id} over-completed")
+        if remaining == 0:
+            del self._outstanding[group_id]
+            return group_id
+        self._outstanding[group_id] = remaining
+        return None
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def needs_refill(self) -> bool:
+        """True when the pool has drained to its low-water mark."""
+        return len(self._queue) <= self.low_water
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs taken by slaves but not yet marked done."""
+        return len(self._inflight)
+
+    @property
+    def drained(self) -> bool:
+        """True when every pooled job has been processed."""
+        return not self._queue and self.in_flight == 0

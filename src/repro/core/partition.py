@@ -1,0 +1,78 @@
+"""Dataset placement strategies.
+
+The paper places a contiguous prefix of the files locally and the rest in
+S3 (the ``env-*`` skews). That prefix strategy is the default in
+:func:`repro.core.index.build_index`; this module adds alternatives used by
+tests and ablations, plus helpers for reasoning about a placement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..config import CLOUD_SITE, LOCAL_SITE, PlacementSpec
+from ..errors import ConfigurationError
+
+__all__ = [
+    "prefix_placement",
+    "interleaved_placement",
+    "random_placement",
+    "placement_summary",
+]
+
+
+def prefix_placement(num_files: int, spec: PlacementSpec) -> list[str]:
+    """First ``local_fraction`` of files local, rest cloud (paper default)."""
+    local = spec.local_files(num_files)
+    return [LOCAL_SITE] * local + [CLOUD_SITE] * (num_files - local)
+
+
+def interleaved_placement(num_files: int, spec: PlacementSpec) -> list[str]:
+    """Spread local files evenly through the id space.
+
+    With interleaving, consecutive *job ids* still stay within one file, so
+    the sequential-read optimization is unaffected, but clusters exhaust
+    their local files at different points in the run — a useful stress for
+    the stealing policy.
+    """
+    local = spec.local_files(num_files)
+    sites = [CLOUD_SITE] * num_files
+    if local == 0:
+        return sites
+    stride = num_files / local
+    for i in range(local):
+        sites[min(num_files - 1, int(i * stride))] = LOCAL_SITE
+    # Rounding collisions can drop a slot; repair deterministically.
+    deficit = local - sites.count(LOCAL_SITE)
+    for idx in range(num_files):
+        if deficit == 0:
+            break
+        if sites[idx] == CLOUD_SITE:
+            sites[idx] = LOCAL_SITE
+            deficit -= 1
+    return sites
+
+
+def random_placement(
+    num_files: int, spec: PlacementSpec, *, seed: int = 2011
+) -> list[str]:
+    """Uniform random placement with a fixed seed (property-test fodder)."""
+    local = spec.local_files(num_files)
+    rng = random.Random(seed)
+    ids = list(range(num_files))
+    rng.shuffle(ids)
+    chosen = set(ids[:local])
+    return [LOCAL_SITE if i in chosen else CLOUD_SITE for i in range(num_files)]
+
+
+def placement_summary(sites: Sequence[str]) -> dict[str, int]:
+    """Count files per site; validates site names."""
+    out: dict[str, int] = {}
+    for site in sites:
+        if site not in (LOCAL_SITE, CLOUD_SITE):
+            raise ConfigurationError(f"unknown site {site!r} in placement")
+        out[site] = out.get(site, 0) + 1
+    out.setdefault(LOCAL_SITE, 0)
+    out.setdefault(CLOUD_SITE, 0)
+    return out

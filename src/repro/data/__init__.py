@@ -1,0 +1,43 @@
+"""Data-organization substrate: record schemas, synthetic generators, and
+the files -> chunks -> units machinery of Section III-B."""
+
+from .chunks import ChunkSlice, groups_in_chunk, iter_chunk_slices, iter_group_slices
+from .dataset import BlockFn, DatasetReader, build_dataset
+from .generators import (
+    gaussian_points,
+    labeled_gaussian_points,
+    mixture_values,
+    powerlaw_edges,
+    stream_blocks,
+    zipf_tokens,
+)
+from .records import (
+    EDGE_SCHEMA,
+    TOKEN_SCHEMA,
+    VALUE_SCHEMA,
+    RecordSchema,
+    idpoint_schema,
+    point_schema,
+)
+
+__all__ = [
+    "ChunkSlice",
+    "groups_in_chunk",
+    "iter_chunk_slices",
+    "iter_group_slices",
+    "BlockFn",
+    "DatasetReader",
+    "build_dataset",
+    "gaussian_points",
+    "labeled_gaussian_points",
+    "mixture_values",
+    "powerlaw_edges",
+    "stream_blocks",
+    "zipf_tokens",
+    "EDGE_SCHEMA",
+    "TOKEN_SCHEMA",
+    "VALUE_SCHEMA",
+    "RecordSchema",
+    "idpoint_schema",
+    "point_schema",
+]

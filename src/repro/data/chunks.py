@@ -1,0 +1,64 @@
+"""Chunk and unit-group arithmetic.
+
+The three-granularity organization (Section III-B) needs two partitions to
+be exact: a file is a whole number of chunks, and a chunk's units are
+covered exactly once by its cache-sized unit groups. The helpers here do
+that arithmetic in one place; property tests pin the exact-cover invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import DataFormatError
+
+__all__ = ["ChunkSlice", "iter_chunk_slices", "iter_group_slices", "groups_in_chunk"]
+
+
+@dataclass(frozen=True)
+class ChunkSlice:
+    """A chunk's byte range within its file."""
+
+    index: int
+    offset: int
+    nbytes: int
+
+
+def iter_chunk_slices(file_bytes: int, chunk_bytes: int) -> Iterator[ChunkSlice]:
+    """Yield the chunk byte ranges of a file, in order.
+
+    Requires exact division — the dataset builder always pads files to a
+    whole number of chunks, and a ragged tail would silently skew job sizes.
+    """
+    if file_bytes <= 0 or chunk_bytes <= 0:
+        raise DataFormatError("file and chunk sizes must be positive")
+    if file_bytes % chunk_bytes != 0:
+        raise DataFormatError(
+            f"file of {file_bytes} B is not a whole number of "
+            f"{chunk_bytes}-byte chunks"
+        )
+    for index in range(file_bytes // chunk_bytes):
+        yield ChunkSlice(index=index, offset=index * chunk_bytes, nbytes=chunk_bytes)
+
+
+def iter_group_slices(num_units: int, units_per_group: int) -> Iterator[slice]:
+    """Yield ``slice`` objects covering ``num_units`` in cache-sized groups.
+
+    The final group may be short; every unit is covered exactly once.
+    """
+    if num_units < 0:
+        raise DataFormatError("unit count cannot be negative")
+    if units_per_group <= 0:
+        raise DataFormatError("units_per_group must be positive")
+    for start in range(0, num_units, units_per_group):
+        yield slice(start, min(start + units_per_group, num_units))
+
+
+def groups_in_chunk(num_units: int, units_per_group: int) -> int:
+    """Number of local-reduction invocations one chunk produces."""
+    if units_per_group <= 0:
+        raise DataFormatError("units_per_group must be positive")
+    if num_units < 0:
+        raise DataFormatError("unit count cannot be negative")
+    return -(-num_units // units_per_group)

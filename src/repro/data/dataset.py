@@ -1,0 +1,161 @@
+"""Dataset builder and reader: materialize bytes into the storage layer.
+
+The builder streams generator blocks into ``num_files`` blobs, splitting
+them between the local storage node and the cloud object store according to
+a placement, and emits the :class:`~repro.core.index.DataIndex` the head
+node consumes. The reader is the slave-side counterpart: given a job and
+the index, fetch the chunk's bytes from whichever site hosts it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..config import CLOUD_SITE, LOCAL_SITE, DatasetSpec, PlacementSpec
+from ..core.index import DataIndex, FileEntry
+from ..core.job import Job
+from ..errors import DataFormatError
+from ..storage.base import StorageService
+from ..storage.retrieval import ChunkRetriever
+from .records import RecordSchema
+
+__all__ = ["BlockFn", "build_dataset", "DatasetReader"]
+
+#: ``make_block(global_start_unit, count, block_index) -> np.ndarray``
+BlockFn = Callable[[int, int, int], np.ndarray]
+
+
+def build_dataset(
+    spec: DatasetSpec,
+    placement: PlacementSpec,
+    schema: RecordSchema,
+    make_block: BlockFn,
+    stores: Mapping[str, StorageService],
+    *,
+    path_prefix: str = "data/part",
+) -> DataIndex:
+    """Generate and store a dataset; returns its index.
+
+    ``stores`` maps site name to the storage service for that site. Blocks
+    are generated one chunk at a time and streamed, so the peak memory is
+    one chunk regardless of dataset size.
+    """
+    if schema.record_bytes != spec.record_bytes:
+        raise DataFormatError(
+            f"schema record size {schema.record_bytes} != dataset spec "
+            f"record size {spec.record_bytes}"
+        )
+    local_count = placement.local_files(spec.num_files)
+    units_per_chunk = spec.units_per_chunk
+    entries: list[FileEntry] = []
+    global_unit = 0
+    for file_id in range(spec.num_files):
+        site = LOCAL_SITE if file_id < local_count else CLOUD_SITE
+        if site not in stores:
+            raise DataFormatError(f"no storage service supplied for site {site!r}")
+        key = f"{path_prefix}-{file_id:05d}.bin"
+        crc = 0
+
+        def chunk_parts():
+            nonlocal global_unit, crc
+            for chunk in range(spec.chunks_per_file):
+                block = make_block(global_unit, units_per_chunk, chunk)
+                if len(block) != units_per_chunk:
+                    raise DataFormatError(
+                        f"block generator returned {len(block)} units, "
+                        f"expected {units_per_chunk}"
+                    )
+                global_unit += units_per_chunk
+                encoded = schema.encode(block)
+                crc = zlib.crc32(encoded, crc)
+                yield encoded
+
+        written = stores[site].append_stream(key, chunk_parts())
+        if written != spec.file_bytes:
+            raise DataFormatError(
+                f"file {file_id} wrote {written} B, expected {spec.file_bytes} B"
+            )
+        entries.append(
+            FileEntry(
+                file_id=file_id,
+                site=site,
+                path=key,
+                nbytes=spec.file_bytes,
+                chunk_bytes=spec.chunk_bytes,
+                units_per_chunk=units_per_chunk,
+                checksum=crc,
+            )
+        )
+    return DataIndex(files=entries)
+
+
+@dataclass
+class DatasetReader:
+    """Slave-side chunk access over a built dataset.
+
+    ``retrieval_threads`` only applies to remote (cross-site) fetches —
+    local reads are single sequential ``pread``-style calls, matching the
+    paper's "continuous read operation" for local jobs.
+    """
+
+    index: DataIndex
+    stores: Mapping[str, StorageService]
+    retrieval_threads: int = 4
+
+    def read_job(self, job: Job, *, from_site: str | None = None) -> bytes:
+        """Fetch the chunk for ``job``.
+
+        ``from_site`` is the site of the requesting slave; when it differs
+        from the job's hosting site the multi-threaded retriever is used.
+        """
+        entry = self.index.entry(job.file_id)
+        store = self.stores.get(entry.site)
+        if store is None:
+            raise DataFormatError(f"no storage service for site {entry.site!r}")
+        remote = from_site is not None and from_site != entry.site
+        if remote and self.retrieval_threads > 1:
+            retriever = ChunkRetriever(store, threads=self.retrieval_threads)
+            return retriever.fetch(entry.path, job.offset, job.nbytes)
+        return store.get(entry.path, job.offset, job.nbytes)
+
+    def read_all_chunks(self) -> list[bytes]:
+        """Every chunk in index order — feeds the serial oracle."""
+        out: list[bytes] = []
+        for job in self.index.jobs():
+            out.append(self.read_job(job))
+        return out
+
+    def verify_file(self, file_id: int) -> bool:
+        """Check a file's bytes against the index's CRC-32.
+
+        Returns ``True`` on match; raises
+        :class:`~repro.errors.DataFormatError` on mismatch (corruption or
+        tampering) and when the index carries no checksum for the file.
+        """
+        entry = self.index.entry(file_id)
+        if entry.checksum is None:
+            raise DataFormatError(
+                f"file {file_id} has no checksum recorded in the index"
+            )
+        store = self.stores.get(entry.site)
+        if store is None:
+            raise DataFormatError(f"no storage service for site {entry.site!r}")
+        crc = 0
+        for offset in range(0, entry.nbytes, entry.chunk_bytes):
+            crc = zlib.crc32(store.get(entry.path, offset, entry.chunk_bytes), crc)
+        if crc != entry.checksum:
+            raise DataFormatError(
+                f"file {file_id} failed integrity check: stored CRC "
+                f"{entry.checksum:#010x}, computed {crc:#010x}"
+            )
+        return True
+
+    def verify_all(self) -> int:
+        """Verify every file; returns the count checked."""
+        for entry in self.index.files:
+            self.verify_file(entry.file_id)
+        return len(self.index.files)

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the cloud-bursting middleware.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers embedding the library can catch one type. Sub-hierarchies mirror the
+package layout: configuration, data organization, storage, scheduling,
+runtime, and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or system configuration is inconsistent or invalid."""
+
+
+class DataFormatError(ReproError):
+    """A dataset file, record, or index could not be parsed or validated."""
+
+
+class IndexError_(DataFormatError):
+    """A data index is malformed or references data that does not exist.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class StorageError(ReproError):
+    """A storage service failed to satisfy a read or write request."""
+
+
+class ObjectNotFoundError(StorageError):
+    """The requested key does not exist in the object store."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"object not found: {key!r}")
+        self.key = key
+
+
+class SchedulingError(ReproError):
+    """The scheduler was asked to do something inconsistent.
+
+    Examples: assigning a job that was already assigned, or registering the
+    same cluster twice.
+    """
+
+
+class RuntimeProtocolError(ReproError):
+    """A runtime component received a message that violates the protocol."""
+
+
+class WorkerFailure(ReproError):
+    """A slave worker 'crashed' (raised by fault-injection hooks).
+
+    The middleware recovers by re-executing every job the dead worker had
+    processed — its private reduction object dies with it, so completed
+    work must be redone, exactly as in the FREERIDE recovery model.
+    """
+
+
+class ReductionError(ReproError):
+    """A reduction object could not be merged or serialized."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class CalibrationError(SimulationError):
+    """A calibration parameter set is missing or invalid."""

@@ -1,0 +1,12 @@
+"""Network substrate: topology description and transfer cost models."""
+
+from .topology import Link, Topology
+from .transfer import message_time, parallel_transfer_time, transfer_time
+
+__all__ = [
+    "Link",
+    "Topology",
+    "message_time",
+    "parallel_transfer_time",
+    "transfer_time",
+]

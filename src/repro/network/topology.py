@@ -1,0 +1,89 @@
+"""Network topology: sites and the links between them.
+
+Two sites exist in the paper's deployment — the campus cluster and AWS —
+with three link classes that matter to the middleware:
+
+* intra-cluster (Infiniband / EC2 internal): fast, effectively never the
+  bottleneck for control messages;
+* storage-to-compute at one site (storage node -> local slaves, S3 -> EC2);
+* the WAN between sites (S3 -> local slaves and the reduction-object
+  exchange), which is where cloud bursting's overheads live.
+
+A :class:`Link` is described by latency, aggregate bandwidth, and an
+optional per-flow bandwidth cap (an S3 connection cannot exceed a few tens
+of MB/s no matter how idle the trunk is, which is exactly why the paper's
+slaves open multiple retrieval threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["Link", "Topology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed network path between two endpoints."""
+
+    src: str
+    dst: str
+    bandwidth: float  # aggregate bytes/second
+    latency: float = 0.0  # one-way seconds
+    per_flow_cap: float | None = None  # bytes/second per connection
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"link {self.src}->{self.dst}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError(f"link {self.src}->{self.dst}: negative latency")
+        if self.per_flow_cap is not None and self.per_flow_cap <= 0:
+            raise ConfigurationError(
+                f"link {self.src}->{self.dst}: per_flow_cap must be positive"
+            )
+
+    def flow_rate(self, concurrent_flows: int) -> float:
+        """Fair-share rate of one flow among ``concurrent_flows``."""
+        if concurrent_flows <= 0:
+            raise ConfigurationError("flow count must be positive")
+        share = self.bandwidth / concurrent_flows
+        if self.per_flow_cap is not None:
+            share = min(share, self.per_flow_cap)
+        return share
+
+
+@dataclass
+class Topology:
+    """Directed link table keyed by ``(src, dst)`` endpoint names."""
+
+    links: dict[tuple[str, str], Link] = field(default_factory=dict)
+
+    def add(self, link: Link) -> None:
+        key = (link.src, link.dst)
+        if key in self.links:
+            raise ConfigurationError(f"duplicate link {key}")
+        self.links[key] = link
+
+    def add_symmetric(self, link: Link) -> None:
+        """Add the link and its mirror (same parameters both ways)."""
+        self.add(link)
+        self.add(
+            Link(
+                src=link.dst,
+                dst=link.src,
+                bandwidth=link.bandwidth,
+                latency=link.latency,
+                per_flow_cap=link.per_flow_cap,
+            )
+        )
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise ConfigurationError(f"no link {src!r} -> {dst!r} in topology") from None
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return (src, dst) in self.links

@@ -1,0 +1,44 @@
+"""Closed-form transfer-time estimates.
+
+The discrete-event simulator models links dynamically (flows come and go —
+:mod:`repro.sim.linkmodel`); this module provides the *static* estimates
+used for back-of-envelope checks, the analytical bench baselines, and tests
+that pin the dynamic model against the closed form in steady state.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .topology import Link
+
+__all__ = ["transfer_time", "message_time", "parallel_transfer_time"]
+
+
+def transfer_time(link: Link, nbytes: int, *, concurrent_flows: int = 1) -> float:
+    """Time for one flow of ``nbytes`` when ``concurrent_flows`` share the link."""
+    if nbytes < 0:
+        raise ConfigurationError("cannot transfer a negative byte count")
+    rate = link.flow_rate(concurrent_flows)
+    return link.latency + nbytes / rate
+
+
+def message_time(link: Link, nbytes: int = 1024) -> float:
+    """Time for a small control message (job request/assignment, ack)."""
+    return transfer_time(link, nbytes)
+
+
+def parallel_transfer_time(link: Link, nbytes: int, connections: int) -> float:
+    """Time to move ``nbytes`` split evenly over ``connections`` flows.
+
+    This is the multi-threaded-retrieval estimate: with a per-flow cap the
+    aggregate rate is ``min(bandwidth, connections * cap)``, so adding
+    connections helps until the trunk saturates.
+    """
+    if nbytes < 0:
+        raise ConfigurationError("cannot transfer a negative byte count")
+    if connections <= 0:
+        raise ConfigurationError("connection count must be positive")
+    aggregate = link.bandwidth
+    if link.per_flow_cap is not None:
+        aggregate = min(aggregate, connections * link.per_flow_cap)
+    return link.latency + nbytes / aggregate

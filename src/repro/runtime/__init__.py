@@ -1,0 +1,30 @@
+"""Executable middleware: head/master/slave threads over real data.
+
+Functional twin of the simulator — the same scheduler and protocol with
+real bytes. Used by the integration tests (distributed result == serial
+oracle) and the examples.
+"""
+
+from .centralized import centralized_runtime, run_centralized
+from .driver import CloudBurstingRuntime, RuntimeResult, run_iterative
+from .head import HeadNode
+from .master import MasterNode
+from .slave import SlaveWorker
+from .telemetry import ClusterTelemetry, RunTelemetry, SlaveTelemetry, Stopwatch
+from .transport import Mailbox
+
+__all__ = [
+    "centralized_runtime",
+    "run_centralized",
+    "CloudBurstingRuntime",
+    "RuntimeResult",
+    "run_iterative",
+    "HeadNode",
+    "MasterNode",
+    "SlaveWorker",
+    "ClusterTelemetry",
+    "RunTelemetry",
+    "SlaveTelemetry",
+    "Stopwatch",
+    "Mailbox",
+]

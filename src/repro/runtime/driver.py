@@ -1,0 +1,172 @@
+"""End-to-end executable runtime.
+
+:class:`CloudBurstingRuntime` assembles head + masters + slaves as threads
+over real data in the storage layer, runs an application to completion, and
+returns the final result with telemetry. It is the functional twin of
+:class:`repro.sim.simulation.CloudBurstSimulation`: same index, same
+scheduler, same protocol — real bytes instead of modeled costs.
+
+:func:`run_iterative` drives iterative applications (kmeans to
+convergence, pagerank power iterations) by re-running the single-pass
+runtime and feeding each result back through the app's ``update`` hook.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..config import ComputeSpec, MiddlewareTuning
+from ..core.api import GeneralizedReductionApp
+from ..core.index import DataIndex
+from ..core.reduction import from_bytes
+from ..core.scheduler import HeadScheduler
+from ..data.dataset import DatasetReader
+from ..errors import ConfigurationError
+from ..storage.base import StorageService
+from .head import HeadNode
+from .master import MasterNode
+from .slave import SlaveWorker
+from .telemetry import ClusterTelemetry, RunTelemetry
+
+__all__ = ["RuntimeResult", "CloudBurstingRuntime", "run_iterative"]
+
+
+@dataclass
+class RuntimeResult:
+    """Application result plus run accounting."""
+
+    value: Any
+    telemetry: RunTelemetry
+    global_reduction_seconds: float
+
+
+class CloudBurstingRuntime:
+    """Executable middleware over in-process clusters."""
+
+    def __init__(
+        self,
+        app: GeneralizedReductionApp,
+        index: DataIndex,
+        stores: Mapping[str, StorageService],
+        compute: ComputeSpec,
+        *,
+        tuning: MiddlewareTuning | None = None,
+        seed: int = 2011,
+        fault_hook=None,
+    ) -> None:
+        if compute.total_cores <= 0:
+            raise ConfigurationError("need at least one core")
+        self.app = app
+        self.index = index
+        self.stores = stores
+        self.compute = compute
+        self.tuning = tuning or MiddlewareTuning()
+        self.seed = seed
+        self.fault_hook = fault_hook
+
+    def run(self) -> RuntimeResult:
+        started = time.perf_counter()
+        scheduler = HeadScheduler(self.index.jobs(), self.tuning, seed=self.seed)
+        sites = self.compute.active_sites
+        cluster_names = [f"{site}-cluster" for site in sites]
+        for name, site in zip(cluster_names, sites):
+            scheduler.register_cluster(name, site)
+
+        head = HeadNode(scheduler, cluster_names)
+        reader = DatasetReader(
+            self.index, self.stores, retrieval_threads=self.tuning.retrieval_threads
+        )
+
+        masters: list[MasterNode] = []
+        slaves: list[SlaveWorker] = []
+        slave_id = 0
+        for name, site in zip(cluster_names, sites):
+            cores = self.compute.cores_at(site)
+            master = MasterNode(name, site, head.inbox, cores, self.tuning)
+            masters.append(master)
+            for _ in range(cores):
+                slaves.append(
+                    SlaveWorker(
+                        slave_id,
+                        name,
+                        site,
+                        self.app,
+                        reader,
+                        master.inbox,
+                        units_per_group=self.tuning.units_per_group,
+                        fault_hook=self.fault_hook,
+                    )
+                )
+                slave_id += 1
+
+        head.start()
+        for master in masters:
+            master.start()
+        for slave in slaves:
+            slave.start()
+
+        result = head.join(timeout=600.0)
+        for master in masters:
+            master.join(timeout=60.0)
+        for slave in slaves:
+            slave.join(timeout=60.0)
+
+        wall = time.perf_counter() - started
+        telemetry = RunTelemetry(wall_seconds=wall)
+        for master, site in zip(masters, sites):
+            name = master.name
+            crew = [s.telemetry for s in slaves if s.cluster == name]
+            telemetry.clusters[name] = ClusterTelemetry.aggregate(
+                name, site, crew, stolen=scheduler.clusters[name].jobs_stolen
+            )
+            telemetry.slaves_failed += master.slaves_failed
+            telemetry.jobs_reexecuted += master.jobs_reexecuted
+
+        final_robj = from_bytes(result.blob)
+        return RuntimeResult(
+            value=self.app.finalize(final_robj),
+            telemetry=telemetry,
+            global_reduction_seconds=head.global_reduction_seconds,
+        )
+
+
+def run_iterative(
+    runtime: CloudBurstingRuntime,
+    update: Callable[[Any], None],
+    *,
+    iterations: int = 10,
+    tolerance: float | None = None,
+    distance: Callable[[Any, Any], float] | None = None,
+) -> tuple[Any, int]:
+    """Run the app repeatedly, feeding results back via ``update``.
+
+    Stops after ``iterations`` passes, or earlier when ``distance(prev,
+    cur) <= tolerance`` (with the default distance being the max absolute
+    difference of array results). Returns ``(final_result, passes_run)``.
+    """
+    if iterations <= 0:
+        raise ConfigurationError("iterations must be positive")
+
+    def default_distance(a: Any, b: Any) -> float:
+        return float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+
+    dist = distance or default_distance
+    previous: Any = None
+    result: Any = None
+    passes = 0
+    for _ in range(iterations):
+        result = runtime.run().value
+        passes += 1
+        if (
+            tolerance is not None
+            and previous is not None
+            and dist(previous, result) <= tolerance
+        ):
+            break
+        previous = result
+        update(result)
+    return result, passes

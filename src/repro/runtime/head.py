@@ -1,0 +1,105 @@
+"""The head node.
+
+Responsibilities (Section III-B): turn the data index into the job pool,
+serve masters' job requests with the locality-aware scheduler, track group
+completions for the contention heuristic, and — once every cluster has
+uploaded its combined reduction object — perform the global reduction and
+publish the final object.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.reduction import ReductionObject, from_bytes
+from ..core.scheduler import HeadScheduler
+from ..errors import RuntimeProtocolError
+from .messages import GroupComplete, HeadResult, JobReply, JobRequest, ReductionUpload
+from .transport import Mailbox
+
+__all__ = ["HeadNode"]
+
+
+class HeadNode:
+    """Runs as one thread; owns the scheduler and the final merge."""
+
+    def __init__(
+        self,
+        scheduler: HeadScheduler,
+        expected_clusters: list[str],
+        *,
+        mailbox: Mailbox | None = None,
+    ) -> None:
+        if not expected_clusters:
+            raise RuntimeProtocolError("head needs at least one cluster")
+        self.scheduler = scheduler
+        self.expected = list(expected_clusters)
+        self.inbox = mailbox or Mailbox("head")
+        self.result: HeadResult | None = None
+        self.global_reduction_seconds = 0.0
+        self._thread: threading.Thread | None = None
+        self._failure: BaseException | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._run, name="head", daemon=True)
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> HeadResult:
+        if self._thread is None:
+            raise RuntimeProtocolError("head was never started")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeProtocolError("head did not finish in time")
+        if self._failure is not None:
+            raise self._failure
+        assert self.result is not None
+        return self.result
+
+    # -- the protocol loop ----------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            self._serve()
+        except BaseException as exc:  # surface in join()
+            self._failure = exc
+
+    def _serve(self) -> None:
+        import time
+
+        uploads: dict[str, ReductionObject] = {}
+        while len(uploads) < len(self.expected):
+            message = self.inbox.take(timeout=60.0)
+            if isinstance(message, JobRequest):
+                group = self.scheduler.request_jobs(message.cluster, message.max_jobs)
+                message.reply_to.post(JobReply(group))
+            elif isinstance(message, GroupComplete):
+                self.scheduler.complete_group(message.group_id)
+            elif isinstance(message, ReductionUpload):
+                if message.cluster in uploads:
+                    raise RuntimeProtocolError(
+                        f"cluster {message.cluster!r} uploaded twice"
+                    )
+                if message.cluster not in self.expected:
+                    raise RuntimeProtocolError(
+                        f"upload from unknown cluster {message.cluster!r}"
+                    )
+                uploads[message.cluster] = from_bytes(message.blob)
+            else:
+                raise RuntimeProtocolError(
+                    f"head received unexpected message {type(message).__name__}"
+                )
+        # Global reduction: merge in registration order for determinism.
+        started = time.perf_counter()
+        merged: ReductionObject | None = None
+        for cluster in self.expected:
+            robj = uploads[cluster]
+            if merged is None:
+                merged = robj.clone_empty()
+            merged.merge(robj)
+        assert merged is not None
+        self.global_reduction_seconds = time.perf_counter() - started
+        self.result = HeadResult(
+            blob=merged.to_bytes(), clusters_reported=tuple(self.expected)
+        )

@@ -1,0 +1,186 @@
+"""The per-cluster master node.
+
+Keeps the cluster's job pool filled from the head (on-demand pooling —
+the load-balancing mechanism of Section III-B), serves slaves one job at a
+time, acknowledges completed groups, and, when its slaves have drained the
+global pool, combines their reduction objects and uploads the result to
+the head.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from ..config import MiddlewareTuning
+from ..core.jobpool import JobPool
+from ..core.reduction import merge_all
+from ..errors import RuntimeProtocolError
+from .messages import (
+    GroupComplete,
+    JobRequest,
+    ReductionUpload,
+    SlaveFailed,
+    SlaveJobReply,
+    SlaveJobRequest,
+    SlaveJobDone,
+    SlaveReduction,
+)
+from .transport import Mailbox
+
+__all__ = ["MasterNode"]
+
+
+class MasterNode:
+    """Runs as one thread per cluster."""
+
+    def __init__(
+        self,
+        name: str,
+        site: str,
+        head_inbox: Mailbox,
+        num_slaves: int,
+        tuning: MiddlewareTuning | None = None,
+    ) -> None:
+        if num_slaves <= 0:
+            raise RuntimeProtocolError("a cluster needs at least one slave")
+        self.name = name
+        self.site = site
+        self.head_inbox = head_inbox
+        self.num_slaves = num_slaves
+        self.tuning = tuning or MiddlewareTuning()
+        self.inbox = Mailbox(f"master:{name}")
+        self._head_reply = Mailbox(f"master:{name}:head-reply")
+        low_water = max(self.tuning.pool_low_water, min(num_slaves // 2, 8))
+        self.pool = JobPool(low_water=low_water)
+        self.combine_seconds = 0.0
+        self.slaves_failed = 0
+        self.jobs_reexecuted = 0
+        self._thread: threading.Thread | None = None
+        self._failure: BaseException | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name=f"master:{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is None:
+            raise RuntimeProtocolError(f"master {self.name!r} was never started")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeProtocolError(f"master {self.name!r} did not finish")
+        if self._failure is not None:
+            raise self._failure
+
+    # -- protocol loop ------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            self._serve()
+        except BaseException as exc:
+            self._failure = exc
+
+    def _fetch_from_head(self) -> bool:
+        """Request one group; returns False when the head is exhausted."""
+        self.head_inbox.post(
+            JobRequest(
+                cluster=self.name,
+                reply_to=self._head_reply,
+                max_jobs=self.tuning.job_group_size,
+            )
+        )
+        reply = self._head_reply.take(timeout=60.0)
+        if reply.group is None:
+            return False
+        self.pool.add_group(reply.group)
+        return True
+
+    def _serve(self) -> None:
+        import time
+
+        head_exhausted = False
+        waiting: deque[SlaveJobRequest] = deque()
+        robjs: list[SlaveReduction] = []
+        expected_robjs = self.num_slaves
+        # Every job ever handed to each slave: a dead slave's reduction
+        # object is lost, so all of this must be re-executed (FREERIDE-style
+        # recovery).
+        jobs_by_slave: dict[int, list] = {}
+
+        def refill() -> None:
+            nonlocal head_exhausted
+            while not head_exhausted and (self.pool.needs_refill or waiting):
+                if not self._fetch_from_head():
+                    head_exhausted = True
+                if len(self.pool) > self.pool.low_water and not waiting:
+                    break
+                if waiting and len(self.pool) >= len(waiting):
+                    break
+
+        def run_over() -> bool:
+            """No job will ever become available again.
+
+            The in-flight check matters for fault tolerance: while any job
+            is still being processed, its holder might die and the job
+            return to the pool, so idle slaves park rather than exit.
+            """
+            return head_exhausted and len(self.pool) == 0 and self.pool.in_flight == 0
+
+        def serve_waiting() -> None:
+            while waiting:
+                job = self.pool.take()
+                if job is None:
+                    if run_over():
+                        while waiting:
+                            waiting.popleft().reply_to.post(SlaveJobReply(None))
+                    break
+                request = waiting.popleft()
+                jobs_by_slave.setdefault(request.slave_id, []).append(job)
+                request.reply_to.post(SlaveJobReply(job))
+
+        while len(robjs) < expected_robjs:
+            message = self.inbox.take(timeout=60.0)
+            if isinstance(message, SlaveJobRequest):
+                waiting.append(message)
+                refill()
+                serve_waiting()
+            elif isinstance(message, SlaveJobDone):
+                group_id = self.pool.mark_done(message.job.job_id)
+                if group_id is not None:
+                    self.head_inbox.post(
+                        GroupComplete(cluster=self.name, group_id=group_id)
+                    )
+                serve_waiting()  # a drained pool may have just become final
+            elif isinstance(message, SlaveFailed):
+                expected_robjs -= 1
+                self.slaves_failed += 1
+                lost = jobs_by_slave.pop(message.slave_id, [])
+                self.pool.requeue(lost)
+                self.jobs_reexecuted += len(lost)
+                if expected_robjs == 0:
+                    raise RuntimeProtocolError(
+                        f"master {self.name!r}: every slave failed"
+                    )
+                serve_waiting()  # recovered jobs wake parked slaves
+            elif isinstance(message, SlaveReduction):
+                robjs.append(message)
+            else:
+                raise RuntimeProtocolError(
+                    f"master {self.name!r} received {type(message).__name__}"
+                )
+        # Intra-cluster combine, then upload to the head.
+        started = time.perf_counter()
+        combined = merge_all(sorted_robjs(robjs))
+        self.combine_seconds = time.perf_counter() - started
+        self.head_inbox.post(
+            ReductionUpload(cluster=self.name, blob=combined.to_bytes())
+        )
+
+
+def sorted_robjs(messages: list[SlaveReduction]):
+    """Merge slave objects in slave-id order so runs are deterministic."""
+    return [m.robj for m in sorted(messages, key=lambda m: m.slave_id)]

@@ -1,0 +1,121 @@
+"""Message types of the middleware protocol.
+
+The three node tiers communicate exclusively through these messages
+(Section III-B): masters request job groups from the head and acknowledge
+their completion; slaves request jobs from their master and report results;
+masters upload their cluster's combined reduction object to the head.
+
+The executable runtime moves these over queues; the protocol (who sends
+what when) is identical to what the simulator models with latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from queue import Queue
+from typing import Any
+
+from ..core.job import Job, JobGroup
+
+__all__ = [
+    "JobRequest",
+    "JobReply",
+    "GroupComplete",
+    "ReductionUpload",
+    "SlaveJobRequest",
+    "SlaveJobReply",
+    "SlaveJobDone",
+    "SlaveFailed",
+    "SlaveReduction",
+    "HeadResult",
+]
+
+
+# -- master -> head ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A master asks the head for another group of jobs."""
+
+    cluster: str
+    reply_to: "Queue[JobReply]"
+    max_jobs: int | None = None
+
+
+@dataclass(frozen=True)
+class JobReply:
+    """Head's answer: a job group, or ``None`` when the pool is exhausted."""
+
+    group: JobGroup | None
+
+
+@dataclass(frozen=True)
+class GroupComplete:
+    """A master reports that every job of a group has been processed."""
+
+    cluster: str
+    group_id: int
+
+
+@dataclass(frozen=True)
+class ReductionUpload:
+    """A master ships its cluster's combined reduction object (serialized)."""
+
+    cluster: str
+    blob: bytes
+
+
+# -- slave <-> master ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlaveJobRequest:
+    """A slave asks its master for the next job."""
+
+    slave_id: int
+    reply_to: "Queue[SlaveJobReply]"
+
+
+@dataclass(frozen=True)
+class SlaveJobReply:
+    """Master's answer: a job, or ``None`` when the run is over."""
+
+    job: Job | None
+
+
+@dataclass(frozen=True)
+class SlaveJobDone:
+    """A slave reports one processed job."""
+
+    slave_id: int
+    job: Job
+
+
+@dataclass(frozen=True)
+class SlaveFailed:
+    """A slave worker died. Its reduction object is lost, so every job it
+    ever processed (plus its in-flight job) must be re-executed."""
+
+    slave_id: int
+    in_flight: Job | None
+
+
+@dataclass(frozen=True)
+class SlaveReduction:
+    """A slave hands its reduction object to the master (same process, so
+    the live object is passed; cross-cluster transfers serialize)."""
+
+    slave_id: int
+    robj: Any
+
+
+# -- head -> driver ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeadResult:
+    """Final merged reduction object (serialized) plus run accounting."""
+
+    blob: bytes
+    clusters_reported: tuple[str, ...]

@@ -1,0 +1,122 @@
+"""The slave worker.
+
+One thread per active core: request a job, retrieve the chunk (sequential
+local read or multi-threaded remote fetch — :class:`DatasetReader` picks),
+decode into data units, run the local reduction over cache-sized unit
+groups, report completion; when the master answers ``None`` the slave hands
+over its private reduction object and exits. This is the executable
+counterpart of :class:`repro.sim.simnodes.SimSlave`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from typing import Callable
+
+from ..core.api import GeneralizedReductionApp
+from ..core.job import Job
+from ..data.dataset import DatasetReader
+from ..errors import RuntimeProtocolError, WorkerFailure
+from .messages import SlaveFailed, SlaveJobDone, SlaveJobRequest, SlaveReduction
+from .telemetry import SlaveTelemetry
+from .transport import Mailbox
+
+__all__ = ["SlaveWorker", "FaultHook"]
+
+#: Fault-injection hook, called before each job is processed. Raising
+#: :class:`~repro.errors.WorkerFailure` "crashes" this worker; the master
+#: re-executes its work on the survivors.
+FaultHook = Callable[[int, Job], None]
+
+
+class SlaveWorker:
+    """Runs as one thread."""
+
+    def __init__(
+        self,
+        slave_id: int,
+        cluster: str,
+        site: str,
+        app: GeneralizedReductionApp,
+        reader: DatasetReader,
+        master_inbox: Mailbox,
+        *,
+        units_per_group: int = 4096,
+        fault_hook: FaultHook | None = None,
+    ) -> None:
+        self.slave_id = slave_id
+        self.cluster = cluster
+        self.site = site
+        self.app = app
+        self.reader = reader
+        self.master_inbox = master_inbox
+        self.units_per_group = units_per_group
+        self.fault_hook = fault_hook
+        self.reply = Mailbox(f"slave:{cluster}:{slave_id}")
+        self.telemetry = SlaveTelemetry(slave_id=slave_id, cluster=cluster)
+        self.crashed = False
+        self._thread: threading.Thread | None = None
+        self._failure: BaseException | None = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name=f"slave:{self.cluster}:{self.slave_id}", daemon=True
+        )
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is None:
+            raise RuntimeProtocolError(f"slave {self.slave_id} was never started")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeProtocolError(f"slave {self.slave_id} did not finish")
+        if self._failure is not None:
+            raise self._failure
+
+    # -- worker loop --------------------------------------------------------
+
+    def _run(self) -> None:
+        current: list[Job | None] = [None]
+        try:
+            self._work(current)
+        except WorkerFailure:
+            # An injected crash: the worker dies, the middleware recovers.
+            self.crashed = True
+            self.master_inbox.post(
+                SlaveFailed(slave_id=self.slave_id, in_flight=current[0])
+            )
+        except BaseException as exc:
+            # A genuine bug: recover the run (re-execute this worker's jobs
+            # elsewhere so the result stays correct) but surface the error
+            # when the driver joins this slave.
+            self._failure = exc
+            self.crashed = True
+            self.master_inbox.post(
+                SlaveFailed(slave_id=self.slave_id, in_flight=current[0])
+            )
+
+    def _work(self, current: list) -> None:
+        robj = self.app.create_reduction_object()
+        telemetry = self.telemetry
+        while True:
+            self.master_inbox.post(
+                SlaveJobRequest(slave_id=self.slave_id, reply_to=self.reply)
+            )
+            reply = self.reply.take(timeout=60.0)
+            job = reply.job
+            if job is None:
+                break
+            current[0] = job
+            if self.fault_hook is not None:
+                self.fault_hook(self.slave_id, job)
+            with telemetry.retrieval:
+                raw = self.reader.read_job(job, from_site=self.site)
+            with telemetry.processing:
+                units = self.app.decode_chunk(raw)
+                for group in self.app.unit_groups(units, self.units_per_group):
+                    self.app.local_reduction(robj, group)
+            telemetry.jobs += 1
+            self.master_inbox.post(SlaveJobDone(slave_id=self.slave_id, job=job))
+            current[0] = None
+        self.master_inbox.post(SlaveReduction(slave_id=self.slave_id, robj=robj))

@@ -1,0 +1,89 @@
+"""Wall-clock telemetry for the executable runtime.
+
+Mirrors the simulator's metric decomposition at functional scale: per-slave
+processing and retrieval seconds, per-cluster aggregation, and run totals.
+These numbers are *measurements* of the in-process run — useful for the
+examples and the API-overhead comparisons — not the paper's testbed
+prediction (that is the simulator's job).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "SlaveTelemetry", "ClusterTelemetry", "RunTelemetry"]
+
+
+class Stopwatch:
+    """Accumulating timer: ``with watch: ...`` adds the block's duration."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None
+        self.total += time.perf_counter() - self._started
+        self._started = None
+
+
+@dataclass
+class SlaveTelemetry:
+    """One slave's accumulated timings."""
+
+    slave_id: int
+    cluster: str
+    processing: Stopwatch = field(default_factory=Stopwatch)
+    retrieval: Stopwatch = field(default_factory=Stopwatch)
+    jobs: int = 0
+
+
+@dataclass
+class ClusterTelemetry:
+    """Aggregated per-cluster view."""
+
+    cluster: str
+    site: str
+    slaves: int
+    jobs: int
+    stolen: int
+    mean_processing: float
+    mean_retrieval: float
+
+    @staticmethod
+    def aggregate(
+        cluster: str, site: str, slaves: list[SlaveTelemetry], stolen: int
+    ) -> "ClusterTelemetry":
+        n = max(1, len(slaves))
+        return ClusterTelemetry(
+            cluster=cluster,
+            site=site,
+            slaves=len(slaves),
+            jobs=sum(s.jobs for s in slaves),
+            stolen=stolen,
+            mean_processing=sum(s.processing.total for s in slaves) / n,
+            mean_retrieval=sum(s.retrieval.total for s in slaves) / n,
+        )
+
+
+@dataclass
+class RunTelemetry:
+    """Whole-run accounting returned alongside the application result."""
+
+    wall_seconds: float
+    clusters: dict[str, ClusterTelemetry] = field(default_factory=dict)
+    slaves_failed: int = 0
+    jobs_reexecuted: int = 0
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(c.jobs for c in self.clusters.values())
+
+    @property
+    def total_stolen(self) -> int:
+        return sum(c.stolen for c in self.clusters.values())

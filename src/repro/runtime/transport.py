@@ -1,0 +1,60 @@
+"""Queue transport between runtime components.
+
+Every node owns a :class:`Mailbox`. The executable runtime runs all nodes
+as threads in one process, so a mailbox is a thin wrapper over
+:class:`queue.Queue` that adds message counting and an optional wall-clock
+delay injector (used by examples to make the WAN visible; tests and normal
+runs leave it off). Replacing this module with real sockets is the
+intended extension point for a multi-process deployment.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Any, Callable
+
+from ..errors import RuntimeProtocolError
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """A named FIFO message endpoint."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        delay: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if delay < 0:
+            raise RuntimeProtocolError(f"mailbox {name!r}: negative delay")
+        self.name = name
+        self.delay = delay
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._clock = clock
+        self.sent = 0
+        self.received = 0
+
+    def post(self, message: Any) -> None:
+        """Deliver a message (after the configured delay, if any)."""
+        if self.delay > 0:
+            time.sleep(self.delay)
+        self.sent += 1
+        self._queue.put(message)
+
+    def take(self, timeout: float | None = None) -> Any:
+        """Blocking receive; raises :class:`RuntimeProtocolError` on timeout."""
+        try:
+            message = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise RuntimeProtocolError(
+                f"mailbox {self.name!r}: no message within {timeout}s"
+            ) from None
+        self.received += 1
+        return message
+
+    def __len__(self) -> int:
+        return self._queue.qsize()

@@ -1,0 +1,97 @@
+"""Shared-resource primitives for the simulation kernel.
+
+* :class:`Resource` — counted slots (cores, disk streams) acquired with
+  ``yield resource.request()`` and returned with ``release``;
+* :class:`Store` — an unbounded FIFO channel of items, the message-queue
+  primitive the simulated masters and slaves communicate through (the
+  in-sim analogue of :mod:`repro.runtime.transport`).
+
+Both wake waiters in strict FIFO order, which keeps simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..errors import SimulationError
+from .engine import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO admission."""
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._waiting: deque[Event] = deque()
+        self._active: set[int] = set()
+        #: total grant count, for tests/metrics
+        self.grants = 0
+
+    @property
+    def in_use(self) -> int:
+        return len(self._active)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Returns an event that fires when a slot is granted."""
+        event = self.env.event()
+        if len(self._active) < self.capacity:
+            self._grant(event)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def _grant(self, event: Event) -> None:
+        self._active.add(id(event))
+        self.grants += 1
+        event.succeed(event)
+
+    def release(self, request: Event) -> None:
+        """Return the slot granted to ``request``."""
+        if id(request) not in self._active:
+            raise SimulationError("release of a request that does not hold the resource")
+        self._active.remove(id(request))
+        if self._waiting:
+            self._grant(self._waiting.popleft())
+
+
+class Store:
+    """Unbounded FIFO item channel."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the oldest waiting getter, if any."""
+        self.puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Returns an event whose value is the next item."""
+        self.gets += 1
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,309 @@
+"""End-to-end cloud-bursting simulation.
+
+:class:`CloudBurstSimulation` wires an :class:`~repro.config.ExperimentConfig`
+into the simulated substrate — storage paths, compute model, control
+latencies — instantiates one master plus one slave per active core at each
+site, runs the job pool dry, performs the two-level reduction, and returns
+a :class:`~repro.sim.metrics.SimReport`.
+
+Reduction phases (Section III-B):
+
+1. every slave folds its chunks into its own reduction object (implicit:
+   its cost is inside processing time);
+2. when a cluster's slaves all finish, the master tree-combines their
+   objects over the intra-cluster fabric;
+3. each master ships its combined object to the head — free for the head's
+   own site, a WAN push for the other (skipped entirely in single-cluster
+   runs, matching the paper's note that base environments avoid the
+   transfer);
+4. the head merges arriving objects serially.
+
+The head node is hosted at the campus cluster in every configuration, as
+in the paper (env-cloud shows master<->head WAN delays in Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..apps.base import AppProfile, get_profile
+from ..config import CLOUD_SITE, LOCAL_SITE, ExperimentConfig
+from ..core.index import build_index
+from ..core.job import Job
+from ..core.scheduler import HeadScheduler
+from ..errors import SimulationError
+from .calibration import PAPER_CALIBRATION, SimCalibration
+from .computemodel import ComputeModel
+from .engine import Environment, Event
+from .linkmodel import FairShareLink
+from .metrics import ClusterReport, SimReport
+from .simnodes import SimMaster, SimSlave
+from .storagemodel import SimStore
+from .trace import TraceRecorder
+
+__all__ = ["CloudBurstSimulation", "simulate"]
+
+HEAD_SITE = LOCAL_SITE
+
+
+class CloudBurstSimulation:
+    """One experiment, simulated."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        calibration: SimCalibration = PAPER_CALIBRATION,
+        profile: AppProfile | None = None,
+        trace: "TraceRecorder | None" = None,
+        static_assignment: bool = False,
+    ) -> None:
+        self.config = config
+        self.calibration = calibration
+        self.profile = profile or get_profile(config.app)
+        self.trace = trace
+        #: Ablation baseline: pre-partition the whole job pool across the
+        #: clusters round-robin instead of on-demand pooling. Disables
+        #: work stealing and rate-matching — the strategy Section III-B's
+        #: pooling design replaces.
+        self.static_assignment = static_assignment
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _build_stores(self, env: Environment) -> dict[tuple[str, str], SimStore]:
+        cal = self.calibration
+        return {
+            (LOCAL_SITE, LOCAL_SITE): SimStore(env, cal.disk_to_local),
+            (LOCAL_SITE, CLOUD_SITE): SimStore(env, cal.disk_to_cloud),
+            (CLOUD_SITE, CLOUD_SITE): SimStore(env, cal.s3_to_cloud),
+            (CLOUD_SITE, LOCAL_SITE): SimStore(env, cal.s3_to_local),
+        }
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self) -> SimReport:
+        config = self.config
+        env = Environment()
+        stores = self._build_stores(env)
+        # Thread the experiment seed into the jitter models so different
+        # seeds produce different (but reproducible) runs.
+        local_var = replace(
+            self.calibration.local_variability,
+            seed=self.calibration.local_variability.seed ^ (config.seed * 2654435761),
+        )
+        cloud_var = replace(
+            self.calibration.cloud_variability,
+            seed=self.calibration.cloud_variability.seed ^ (config.seed * 40503),
+        )
+        compute = ComputeModel(
+            profile=self.profile,
+            variability={LOCAL_SITE: local_var, CLOUD_SITE: cloud_var},
+            merge_seconds_per_byte=self.calibration.merge_seconds_per_byte,
+        )
+
+        index = build_index(config.dataset, config.placement)
+        scheduler = HeadScheduler(index.jobs(), config.tuning, seed=config.seed)
+
+        def fetch(job: Job, slave_site: str, threads: int) -> Event:
+            store = stores[(job.site, slave_site)]
+            # Multi-threaded retrieval applies whenever the chunk comes off
+            # the object store (even "co-located" EC2 slaves GET over the
+            # network) or crosses sites; only a local disk read is a single
+            # sequential stream.
+            single_stream = job.site == LOCAL_SITE and slave_site == LOCAL_SITE
+            return store.fetch(
+                job.file_id,
+                job.nbytes,
+                chunk_index=job.chunk_index,
+                connections=1 if single_stream else threads,
+            )
+
+        # Dedicated WAN path for the reduction-object push (cloud -> head).
+        wan_robj = FairShareLink(
+            env,
+            bandwidth=self.calibration.s3_to_local.bandwidth,
+            latency=self.calibration.wan_latency,
+            per_flow_cap=self.calibration.wan_robj_per_flow,
+            name="wan-robj",
+        )
+
+        sites = config.compute.active_sites
+        multi_cluster = len(sites) > 1
+        robj_bytes = self.profile.robj_bytes
+
+        masters: dict[str, SimMaster] = {}
+        slaves: dict[str, list[SimSlave]] = {}
+        combine_done: dict[str, float] = {}
+        robj_arrival: dict[str, float] = {}
+        merged_at: dict[str, float] = {}
+        processing_end: dict[str, float] = {}
+        head_busy_until = [0.0]  # serialize head-side merges
+
+        cluster_procs = []
+        worker_id = 0
+        for site in sites:
+            cores = config.compute.cores_at(site)
+            name = f"{site}-cluster"
+            scheduler.register_cluster(name, site)
+            # The pool's refill point scales with the slave count (capped)
+            # so several files stay in flight at once — a pool sized well
+            # below the slave count would serialize the whole cluster onto
+            # a single file's chunk run — while staying shallow enough that
+            # a slow cluster does not hoard jobs the other could steal.
+            master = SimMaster(
+                env,
+                name,
+                site,
+                scheduler,
+                control_rtt=self.calibration.control_rtt(site == HEAD_SITE),
+                low_water=max(config.tuning.pool_low_water, min(cores // 2, 8)),
+                group_size=config.tuning.job_group_size,
+                trace=self.trace,
+            )
+            masters[name] = master
+            crew = []
+            for _ in range(cores):
+                slave = SimSlave(
+                    env,
+                    worker_id,
+                    site,
+                    master,
+                    fetch,
+                    compute,
+                    retrieval_threads=config.tuning.retrieval_threads,
+                    trace=self.trace,
+                )
+                worker_id += 1
+                crew.append(slave)
+            slaves[name] = crew
+
+            intra_bw = (
+                self.calibration.intra_local_bandwidth
+                if site == LOCAL_SITE
+                else self.calibration.intra_cloud_bandwidth
+            )
+
+            def cluster_proc(name=name, site=site, crew=crew, intra_bw=intra_bw):
+                procs = [env.process(s.run(), name=f"slave:{s.worker_id}") for s in crew]
+                yield env.all_of(procs)
+                processing_end[name] = env.now
+                # Intra-cluster combine (tree merge of the slaves' objects).
+                yield env.timeout(compute.combine_seconds(robj_bytes, len(crew), intra_bw))
+                combine_done[name] = env.now
+                if self.trace is not None:
+                    self.trace.record(env.now, "combine_done", cluster=name)
+                # Ship the combined object to the head.
+                if multi_cluster:
+                    if site == HEAD_SITE:
+                        yield env.timeout(
+                            self.calibration.lan_latency
+                            + robj_bytes / self.calibration.intra_local_bandwidth
+                        )
+                    else:
+                        yield wan_robj.transfer(robj_bytes)
+                robj_arrival[name] = env.now
+                if self.trace is not None:
+                    self.trace.record(env.now, "robj_sent", cluster=name)
+                # Head merges serially as objects arrive.
+                start = max(env.now, head_busy_until[0])
+                finish = start + compute.merge_seconds(robj_bytes)
+                head_busy_until[0] = finish
+                yield env.timeout(finish - env.now)
+                merged_at[name] = env.now
+                if self.trace is not None:
+                    self.trace.record(env.now, "merge_done", cluster=name)
+
+            cluster_procs.append(env.process(cluster_proc(), name=f"cluster:{name}"))
+
+        if self.static_assignment:
+            # Deal the whole pool out round-robin before time starts, then
+            # close every master's intake.
+            names = list(masters)
+            turn = 0
+            while not scheduler.exhausted:
+                group = scheduler.request_jobs(names[turn % len(names)])
+                if group is None:
+                    break
+                masters[names[turn % len(names)]].preload(group)
+                turn += 1
+            for master in masters.values():
+                master.close_intake()
+
+        done = env.all_of(cluster_procs)
+        env.run(done)
+        env.run()  # drain stragglers (acks in flight)
+
+        return self._report(
+            env, scheduler, masters, slaves,
+            processing_end, combine_done, robj_arrival, merged_at,
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def _report(
+        self,
+        env: Environment,
+        scheduler: HeadScheduler,
+        masters: dict[str, SimMaster],
+        slaves: dict[str, list[SimSlave]],
+        processing_end: dict[str, float],
+        combine_done: dict[str, float],
+        robj_arrival: dict[str, float],
+        merged_at: dict[str, float],
+    ) -> SimReport:
+        if scheduler.jobs_remaining != 0:
+            raise SimulationError(
+                f"simulation ended with {scheduler.jobs_remaining} jobs unassigned"
+            )
+        makespan = max(merged_at.values())
+        last_processing_end = max(processing_end.values())
+        # Table II's "global reduction": the elapsed time combining the
+        # final object — the longest ship-and-merge span over clusters
+        # (dominated by the WAN push when the object is large).
+        global_reduction = max(
+            merged_at[name] - combine_done[name] for name in merged_at
+        )
+
+        clusters: dict[str, ClusterReport] = {}
+        for name, crew in slaves.items():
+            stats = scheduler.clusters[name]
+            jobs = sum(s.metrics.jobs for s in crew)
+            if jobs != stats.jobs_assigned:
+                raise SimulationError(
+                    f"{name}: processed {jobs} jobs but was assigned "
+                    f"{stats.jobs_assigned}"
+                )
+            mean_proc = sum(s.metrics.processing for s in crew) / len(crew)
+            mean_retr = sum(s.metrics.retrieval for s in crew) / len(crew)
+            clusters[name] = ClusterReport(
+                name=name,
+                site=masters[name].site,
+                cores=len(crew),
+                jobs_processed=jobs,
+                jobs_stolen=stats.jobs_stolen,
+                mean_processing=mean_proc,
+                mean_retrieval=mean_retr,
+                sync=makespan - mean_proc - mean_retr,
+                processing_end=processing_end[name],
+                combine_done=combine_done[name],
+                robj_arrival=robj_arrival[name],
+                idle=max(0.0, last_processing_end - processing_end[name]),
+            )
+        report = SimReport(
+            experiment=self.config.name,
+            app=self.config.app,
+            makespan=makespan,
+            global_reduction=global_reduction,
+            clusters=clusters,
+            events_processed=env.events_processed,
+        )
+        report.validate()
+        return report
+
+
+def simulate(
+    config: ExperimentConfig,
+    calibration: SimCalibration = PAPER_CALIBRATION,
+    profile: AppProfile | None = None,
+) -> SimReport:
+    """Convenience one-shot: build and run a simulation."""
+    return CloudBurstSimulation(config, calibration, profile).run()

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CLOUD_SITE, LOCAL_SITE, DatasetSpec, PlacementSpec
+from repro.storage.objectstore import ObjectStore
+
+
+@pytest.fixture
+def two_site_stores():
+    """A fresh in-memory store per site."""
+    return {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+
+
+def small_spec(record_bytes: int, *, files: int = 4, chunks_per_file: int = 4,
+               units_per_chunk: int = 64) -> DatasetSpec:
+    """A tiny dataset spec with exact divisibility."""
+    chunk = units_per_chunk * record_bytes
+    return DatasetSpec(
+        total_bytes=files * chunks_per_file * chunk,
+        num_files=files,
+        chunk_bytes=chunk,
+        record_bytes=record_bytes,
+    )
+
+
+@pytest.fixture
+def half_placement():
+    return PlacementSpec(local_fraction=0.5)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,232 @@
+"""Per-application tests: correctness against serial references and the
+order-independence contract of the Generalized Reduction API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    PAPER_APPS,
+    available_apps,
+    get_app_factory,
+    make_bundle,
+)
+from repro.apps.base import get_profile
+from repro.apps.kmeans import KMeansApp
+from repro.apps.knn import KnnApp
+from repro.apps.pagerank import PageRankApp
+from repro.baselines.serial import (
+    histogram_reference,
+    kmeans_reference,
+    knn_reference,
+    pagerank_reference,
+    wordcount_reference,
+)
+from repro.core.api import run_serial
+from repro.core.reduction import merge_all
+from repro.errors import ConfigurationError
+
+
+def test_registry_contains_all_apps():
+    apps = available_apps()
+    for key in ("knn", "kmeans", "pagerank", "wordcount", "histogram"):
+        assert key in apps
+    assert set(PAPER_APPS) <= set(apps)
+    with pytest.raises(ConfigurationError):
+        get_app_factory("no-such-app")
+    with pytest.raises(ConfigurationError):
+        get_profile("no-such-app")
+
+
+def test_paper_profiles_match_paper_setup():
+    # Record sizes tie the 120 GB dataset to the paper's element counts.
+    assert get_profile("knn").record_bytes == 4  # ~32.1e9 elements
+    assert get_profile("kmeans").record_bytes == 16
+    assert get_profile("pagerank").record_bytes == 128  # ~1e9 edges
+    assert get_profile("pagerank").robj_bytes == 300 * 1024 * 1024
+    assert get_profile("kmeans").cloud_slowdown == pytest.approx(22 / 16)
+
+
+def chunks_for(bundle, total_units, chunk_units):
+    out = []
+    for start in range(0, total_units, chunk_units):
+        block = bundle.block_fn(start, min(chunk_units, total_units - start), start)
+        out.append(bundle.schema.encode(block))
+    return out
+
+
+@pytest.mark.parametrize("key", ["knn", "kmeans", "pagerank", "wordcount", "histogram"])
+def test_group_size_invariance(key):
+    """The paper's contract: the result is independent of how the runtime
+    batches data units."""
+    bundle = make_bundle(key, 512)
+    chunks = chunks_for(bundle, 512, 128)
+    a = run_serial(bundle.app, chunks, units_per_group=16)
+    b = run_serial(bundle.app, chunks, units_per_group=512)
+    if isinstance(a, np.ndarray):
+        np.testing.assert_allclose(a, b, atol=1e-6)
+    else:
+        assert a == b
+
+
+@pytest.mark.parametrize("key", ["knn", "wordcount", "histogram", "pagerank"])
+def test_chunk_order_invariance(key):
+    bundle = make_bundle(key, 512)
+    chunks = chunks_for(bundle, 512, 64)
+    forward = run_serial(bundle.app, chunks)
+    backward = run_serial(bundle.app, list(reversed(chunks)))
+    if isinstance(forward, np.ndarray):
+        np.testing.assert_allclose(forward, backward, rtol=1e-12, atol=1e-12)
+    else:
+        assert forward == backward
+
+
+# -- knn ---------------------------------------------------------------------
+
+
+def test_knn_against_reference():
+    bundle = make_bundle("knn", 1000, dims=4, k=25)
+    chunks = chunks_for(bundle, 1000, 250)
+    result = run_serial(bundle.app, chunks)
+    decoded = np.concatenate([bundle.app.decode_chunk(c) for c in chunks])
+    expected = knn_reference(decoded["id"], decoded["coords"], bundle.app.query, 25)
+    assert result == expected
+    assert len(result) == 25
+
+
+def test_knn_fewer_points_than_k():
+    app = KnnApp(query=np.zeros(2, dtype=np.float32), k=100)
+    robj = app.create_reduction_object()
+    pts = np.zeros(3, dtype=app._schema.dtype)
+    pts["id"] = [1, 2, 3]
+    pts["coords"] = [[0, 0], [1, 0], [0, 1]]
+    app.local_reduction(robj, pts)
+    assert len(app.finalize(robj)) == 3
+
+
+def test_knn_rejects_bad_query():
+    with pytest.raises(ValueError):
+        KnnApp(query=np.zeros((2, 2)))
+
+
+# -- kmeans ---------------------------------------------------------------------
+
+
+def test_kmeans_against_reference():
+    bundle = make_bundle("kmeans", 600, dims=3, k=5)
+    chunks = chunks_for(bundle, 600, 150)
+    result = run_serial(bundle.app, chunks)
+    decoded = np.concatenate([bundle.app.decode_chunk(c) for c in chunks])
+    expected = kmeans_reference(decoded, bundle.app.centroids)
+    np.testing.assert_allclose(result, expected, atol=1e-4)
+
+
+def test_kmeans_empty_cluster_keeps_centroid():
+    far = np.array([[100.0, 100.0], [0.0, 0.0]], dtype=np.float32)
+    app = KMeansApp(far)
+    robj = app.create_reduction_object()
+    app.local_reduction(robj, np.zeros((5, 2), dtype=np.float32))
+    out = app.finalize(robj)
+    np.testing.assert_allclose(out[0], [100.0, 100.0])  # untouched
+    np.testing.assert_allclose(out[1], [0.0, 0.0])
+
+
+def test_kmeans_update_validates_shape():
+    app = KMeansApp(np.zeros((3, 2), dtype=np.float32))
+    with pytest.raises(ValueError):
+        app.update(np.zeros((4, 2)))
+    with pytest.raises(ValueError):
+        KMeansApp(np.zeros(3))
+
+
+# -- pagerank --------------------------------------------------------------------
+
+
+def test_pagerank_against_reference_and_stochasticity():
+    bundle = make_bundle("pagerank", 4000)
+    chunks = chunks_for(bundle, 4000, 500)
+    result = run_serial(bundle.app, chunks)
+    decoded = np.concatenate([bundle.app.decode_chunk(c) for c in chunks])
+    expected = pagerank_reference(decoded, bundle.app.n_pages)
+    np.testing.assert_allclose(result, expected, rtol=1e-12)
+    assert result.sum() == pytest.approx(1.0)
+    assert (result > 0).all()
+
+
+def test_pagerank_dangling_mass_redistributed():
+    # Page 2 has no out-edges; total rank must still sum to 1.
+    edges = np.array([[0, 1], [1, 2]], dtype=np.int32)
+    outdeg = np.bincount(edges[:, 0], minlength=3).astype(np.int64)
+    app = PageRankApp(3, outdeg)
+    robj = app.create_reduction_object()
+    app.local_reduction(robj, edges)
+    ranks = app.finalize(robj)
+    assert ranks.sum() == pytest.approx(1.0)
+
+
+def test_pagerank_validation():
+    with pytest.raises(ValueError):
+        PageRankApp(0, np.zeros(0, dtype=np.int64))
+    with pytest.raises(ValueError):
+        PageRankApp(3, np.zeros(4, dtype=np.int64))
+    with pytest.raises(ValueError):
+        PageRankApp(3, np.zeros(3, dtype=np.int64), damping=1.5)
+    app = PageRankApp(3, np.zeros(3, dtype=np.int64))
+    with pytest.raises(ValueError):
+        app.update(np.zeros(4))
+
+
+# -- wordcount / histogram -----------------------------------------------------------
+
+
+def test_wordcount_against_reference():
+    bundle = make_bundle("wordcount", 2000, vocabulary=50)
+    chunks = chunks_for(bundle, 2000, 400)
+    result = run_serial(bundle.app, chunks)
+    decoded = np.concatenate([bundle.app.decode_chunk(c) for c in chunks])
+    assert result == wordcount_reference(decoded)
+    assert sum(result.values()) == 2000
+
+
+def test_histogram_against_reference_and_clipping():
+    bundle = make_bundle("histogram", 2000, bins=16)
+    chunks = chunks_for(bundle, 2000, 500)
+    result = run_serial(bundle.app, chunks)
+    decoded = np.concatenate([bundle.app.decode_chunk(c) for c in chunks])
+    expected = histogram_reference(decoded, 16, bundle.app.lo, bundle.app.hi)
+    np.testing.assert_array_equal(result, expected)
+    assert result.sum() == 2000  # clipping conserves every unit
+
+
+# -- property: worker partitioning invariance -----------------------------------------
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    key=st.sampled_from(["knn", "wordcount", "histogram"]),
+    cut=st.integers(1, 7),
+)
+def test_worker_split_invariance(key, cut):
+    """Splitting units among W 'workers' and merging their reduction
+    objects gives the single-worker result — the global-reduction contract."""
+    bundle = make_bundle(key, 256)
+    units = bundle.block_fn(0, 256, 0)
+    app = bundle.app
+    single = app.create_reduction_object()
+    app.local_reduction(single, units)
+    boundary = 256 * cut // 8
+    parts = []
+    for piece in (units[:boundary], units[boundary:]):
+        robj = app.create_reduction_object()
+        if len(piece):
+            app.local_reduction(robj, piece)
+        parts.append(robj)
+    merged = merge_all(parts)
+    a, b = app.finalize(single), app.finalize(merged)
+    if isinstance(a, np.ndarray):
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-12)
+    else:
+        assert a == b

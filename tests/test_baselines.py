@@ -1,0 +1,100 @@
+"""Tests for the serial references and the Map-Reduce comparison engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.mapreduce import MapReduceEngine, mr_histogram, mr_wordcount
+from repro.baselines.serial import (
+    histogram_reference,
+    kmeans_reference,
+    knn_reference,
+    pagerank_reference,
+    wordcount_reference,
+)
+from repro.data.generators import mixture_values, zipf_tokens
+
+
+# -- serial references (self-consistency / known answers) ---------------------------
+
+
+def test_knn_reference_known_answer():
+    ids = np.array([10, 20, 30])
+    coords = np.array([[0.0, 0.0], [3.0, 0.0], [1.0, 0.0]], dtype=np.float32)
+    out = knn_reference(ids, coords, np.array([0.9, 0.0]), k=2)
+    assert out == [(pytest.approx(0.01, abs=1e-6), 30),
+                   (pytest.approx(0.81, abs=1e-6), 10)]
+
+
+def test_kmeans_reference_known_answer():
+    pts = np.array([[0.0, 0.0], [0.2, 0.0], [10.0, 10.0]], dtype=np.float32)
+    cents = np.array([[0.0, 0.0], [9.0, 9.0]], dtype=np.float32)
+    out = kmeans_reference(pts, cents)
+    np.testing.assert_allclose(out[0], [0.1, 0.0], atol=1e-6)
+    np.testing.assert_allclose(out[1], [10.0, 10.0], atol=1e-6)
+
+
+def test_pagerank_reference_uniform_cycle():
+    # A 3-cycle is symmetric: stationary distribution is uniform.
+    edges = np.array([[0, 1], [1, 2], [2, 0]], dtype=np.int32)
+    out = pagerank_reference(edges, 3, iterations=50)
+    np.testing.assert_allclose(out, [1 / 3] * 3, atol=1e-9)
+
+
+def test_wordcount_reference():
+    tokens = np.array([1, 1, 2, 3, 3, 3])
+    assert wordcount_reference(tokens) == {1: 2, 2: 1, 3: 3}
+
+
+def test_histogram_reference_clips():
+    vals = np.array([-5.0, 0.5, 99.0])
+    out = histogram_reference(vals, 4, 0.0, 1.0)
+    assert out.tolist() == [1, 0, 1, 1]
+
+
+# -- MapReduce engine ----------------------------------------------------------------
+
+
+def test_mr_wordcount_matches_reference():
+    tokens = zipf_tokens(5000, 40, seed=11)
+    splits = [tokens[i : i + 500] for i in range(0, 5000, 500)]
+    result, stats = mr_wordcount(splits)
+    assert result == wordcount_reference(tokens)
+    assert stats.map_tasks == 10
+    assert stats.pairs_emitted == 5000
+    assert stats.pairs_shuffled == 5000  # no combiner: everything crosses
+
+
+def test_mr_combiner_reduces_shuffle_not_emission():
+    """Section III-A's argument, measured: combine cuts communication but
+    the intermediate pairs are still generated on the map side."""
+    tokens = zipf_tokens(5000, 40, seed=11)
+    splits = [tokens[i : i + 500] for i in range(0, 5000, 500)]
+    plain, s_plain = mr_wordcount(splits, combine=False)
+    combined, s_comb = mr_wordcount(splits, combine=True)
+    assert plain == combined
+    assert s_comb.pairs_emitted == s_plain.pairs_emitted == 5000
+    assert s_comb.pairs_shuffled < s_plain.pairs_shuffled / 5
+    assert s_comb.peak_buffer_pairs == 500  # full split still buffered
+
+
+def test_mr_histogram_matches_reference():
+    vals = mixture_values(3000, seed=4)
+    splits = [vals[i : i + 300] for i in range(0, 3000, 300)]
+    result, stats = mr_histogram(splits, bins=8, lo=-0.5, hi=1.5, combine=True)
+    expected = histogram_reference(vals, 8, -0.5, 1.5)
+    assert sum(result.values()) == 3000
+    for b, count in enumerate(expected):
+        assert result.get(b, 0) == count
+
+
+def test_mr_engine_partitioning_covers_all_keys():
+    engine = MapReduceEngine(
+        map_fn=lambda split: [(k, 1) for k in split],
+        reduce_fn=lambda key, values: sum(values),
+        num_partitions=3,
+    )
+    result = engine.run([[1, 2, 3], [2, 3, 4]])
+    assert result == {1: 1, 2: 2, 3: 2, 4: 1}
+    assert engine.stats.reduce_groups == 4

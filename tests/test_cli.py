@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--scale", "0.02"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_apps_lists_all(capsys):
+    code, out = run_cli(capsys, "apps")
+    assert code == 0
+    for app in ("knn", "kmeans", "pagerank", "wordcount", "histogram"):
+        assert app in out
+
+
+def test_simulate_prints_breakdown(capsys):
+    code, out = run_cli(capsys, *SCALE, "simulate", "knn", "env-33/67")
+    assert code == 0
+    assert "makespan" in out
+    assert "stolen" in out
+    assert "local" in out and "cloud" in out
+
+
+def test_simulate_unknown_app_fails_cleanly(capsys):
+    code = main([*SCALE, "simulate", "nope", "env-local"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "error:" in err and "nope" in err
+
+
+def test_simulate_rejects_unknown_env():
+    with pytest.raises(SystemExit):
+        main(["simulate", "knn", "env-9/91"])
+
+
+def test_figure3_and_figure4(capsys):
+    code, out = run_cli(capsys, *SCALE, "figure3", "kmeans")
+    assert code == 0
+    assert "Figure 3 (kmeans)" in out
+    code, out = run_cli(capsys, *SCALE, "figure4", "knn")
+    assert code == 0
+    assert "Figure 4 (knn)" in out
+    assert "paper speedup" in out
+
+
+def test_table_commands(capsys):
+    code, out = run_cli(capsys, *SCALE, "table1")
+    assert code == 0
+    assert "Table I" in out
+    code, out = run_cli(capsys, *SCALE, "table2")
+    assert code == 0
+    assert "Table II" in out
+    assert "Average hybrid slowdown" in out
+
+
+def test_cost_command(capsys):
+    code, out = run_cli(capsys, *SCALE, "cost", "knn")
+    assert code == 0
+    assert "cloud bill" in out
+    assert "$0.00" in out  # env-local line
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_seed_flag_changes_output(capsys):
+    _, a = run_cli(capsys, *SCALE, "--seed", "1", "simulate", "knn", "env-50/50")
+    _, b = run_cli(capsys, *SCALE, "--seed", "2", "simulate", "knn", "env-50/50")
+    assert a != b
+
+
+def test_module_entrypoint():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--scale", "0.02", "apps"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "pagerank" in proc.stdout

@@ -1,0 +1,49 @@
+"""Tests for the extension CLI commands (sweep / stealing / iterative)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+SCALE = ["--scale", "0.02"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    code, out = run_cli(capsys, *SCALE, "sweep", "knn")
+    assert code == 0
+    assert "Data-skew continuum" in out
+    assert "100% local" in out and "0% local" in out
+    assert "best placement" in out
+
+
+def test_stealing_command(capsys):
+    code, out = run_cli(capsys, *SCALE, "stealing", "knn")
+    assert code == 0
+    assert "Work stealing" in out
+    assert "env-17/83" in out
+    assert "stealing gain" in out
+
+
+def test_iterative_command(capsys):
+    code, out = run_cli(capsys, *SCALE, "iterative", "pagerank",
+                        "--iterations", "2")
+    assert code == 0
+    assert "x 2 iterations" in out
+    assert "robj exchange" in out
+
+
+def test_iterative_rejects_bad_env():
+    with pytest.raises(SystemExit):
+        main(["iterative", "pagerank", "--env", "env-weird"])
+
+
+def test_unknown_app_propagates_as_error(capsys):
+    code = main([*SCALE, "sweep", "not-an-app"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Tests for configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    ExperimentConfig,
+    MiddlewareTuning,
+    PlacementSpec,
+    halved,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+
+def test_paper_dataset_shape():
+    spec = DatasetSpec.paper(record_bytes=4)
+    assert spec.total_bytes == 120 * GB
+    assert spec.num_files == 32
+    assert spec.num_chunks == 960
+    assert spec.chunk_bytes == 128 * MB
+    assert spec.chunks_per_file == 30
+    assert spec.units_per_chunk == 32 * MB
+    assert spec.total_units == 960 * 32 * MB
+
+
+def test_dataset_divisibility_enforced():
+    with pytest.raises(ConfigurationError):
+        DatasetSpec(total_bytes=100, num_files=3, chunk_bytes=10, record_bytes=2)
+    with pytest.raises(ConfigurationError):
+        DatasetSpec(total_bytes=90, num_files=3, chunk_bytes=7, record_bytes=1)
+    with pytest.raises(ConfigurationError):
+        DatasetSpec(total_bytes=90, num_files=3, chunk_bytes=10, record_bytes=3)
+
+
+def test_dataset_scaled_preserves_structure():
+    spec = DatasetSpec.paper(record_bytes=4)
+    small = spec.scaled(1e-6)
+    assert small.num_files == spec.num_files
+    assert small.num_chunks == spec.num_chunks
+    assert small.chunk_bytes % small.record_bytes == 0
+    assert small.total_bytes < spec.total_bytes
+    with pytest.raises(ConfigurationError):
+        spec.scaled(0)
+
+
+def test_placement_split():
+    spec = PlacementSpec(local_fraction=1.0 / 3.0)
+    assert spec.split(32) == (11, 21)
+    assert PlacementSpec(0.0).split(10) == (0, 10)
+    assert PlacementSpec(1.0).split(10) == (10, 0)
+    with pytest.raises(ConfigurationError):
+        PlacementSpec(local_fraction=1.5)
+
+
+def test_compute_spec():
+    spec = ComputeSpec(local_cores=16, cloud_cores=22)
+    assert spec.total_cores == 38
+    assert spec.active_sites == (LOCAL_SITE, CLOUD_SITE)
+    assert spec.cores_at(LOCAL_SITE) == 16
+    assert spec.label() == "(16,22)"
+    with pytest.raises(ConfigurationError):
+        ComputeSpec(local_cores=0, cloud_cores=0)
+    with pytest.raises(ConfigurationError):
+        spec.cores_at("mars")
+
+
+def test_compute_single_site():
+    assert ComputeSpec(local_cores=4, cloud_cores=0).active_sites == (LOCAL_SITE,)
+    assert ComputeSpec(local_cores=0, cloud_cores=4).active_sites == (CLOUD_SITE,)
+
+
+def test_halved():
+    assert halved(ComputeSpec(32, 0)).total_cores == 32
+    assert halved(ComputeSpec(32, 0)).local_cores == 16
+
+
+def test_tuning_validation():
+    MiddlewareTuning()  # defaults valid
+    with pytest.raises(ConfigurationError):
+        MiddlewareTuning(job_group_size=0)
+    with pytest.raises(ConfigurationError):
+        MiddlewareTuning(retrieval_threads=0)
+    with pytest.raises(ConfigurationError):
+        MiddlewareTuning(units_per_group=-1)
+    with pytest.raises(ConfigurationError):
+        MiddlewareTuning(pool_low_water=-1)
+
+
+def test_experiment_config():
+    cfg = ExperimentConfig(
+        name="env-test",
+        app="knn",
+        dataset=DatasetSpec(total_bytes=1024, num_files=4, chunk_bytes=64,
+                            record_bytes=4),
+        placement=PlacementSpec(local_fraction=0.5),
+        compute=ComputeSpec(local_cores=2, cloud_cores=2),
+    )
+    assert cfg.local_files == 2
+    assert cfg.cloud_files == 2
+    assert "env-test" in cfg.describe()
+    ablated = cfg.with_tuning(retrieval_threads=9)
+    assert ablated.tuning.retrieval_threads == 9
+    assert cfg.tuning.retrieval_threads == 4  # original untouched
+
+
+def test_experiment_config_requires_names():
+    spec = DatasetSpec(total_bytes=1024, num_files=4, chunk_bytes=64, record_bytes=4)
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(name="", app="knn", dataset=spec,
+                         placement=PlacementSpec(0.5),
+                         compute=ComputeSpec(1, 1))
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(name="x", app="", dataset=spec,
+                         placement=PlacementSpec(0.5),
+                         compute=ComputeSpec(1, 1))

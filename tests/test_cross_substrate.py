@@ -1,0 +1,113 @@
+"""Cross-substrate consistency: the dynamic simulator models must agree
+with the closed-form network estimates in steady state, and randomized
+experiment configurations must preserve the global accounting invariants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    ComputeSpec,
+    DatasetSpec,
+    ExperimentConfig,
+    MiddlewareTuning,
+    PlacementSpec,
+)
+from repro.network.topology import Link
+from repro.network.transfer import parallel_transfer_time, transfer_time
+from repro.sim.engine import Environment
+from repro.sim.linkmodel import FairShareLink
+from repro.sim.simulation import simulate
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    bandwidth=st.floats(10.0, 1000.0),
+    latency=st.floats(0.0, 1.0),
+    cap=st.floats(1.0, 100.0),
+    nbytes=st.integers(1, 100_000),
+)
+def test_single_flow_matches_closed_form(bandwidth, latency, cap, nbytes):
+    """One flow alone on a link: the fluid model equals transfer_time()."""
+    link_spec = Link("a", "b", bandwidth=bandwidth, latency=latency,
+                     per_flow_cap=cap)
+    expected = transfer_time(link_spec, nbytes)
+
+    env = Environment()
+    fluid = FairShareLink(env, bandwidth=bandwidth, latency=latency,
+                          per_flow_cap=cap)
+    finished = {}
+
+    def go():
+        yield fluid.transfer(nbytes)
+        finished["t"] = env.now
+
+    env.process(go())
+    env.run()
+    assert finished["t"] == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    bandwidth=st.floats(50.0, 500.0),
+    cap=st.floats(5.0, 50.0),
+    nbytes=st.integers(1000, 50_000),
+    connections=st.integers(1, 16),
+)
+def test_parallel_fetch_matches_closed_form(bandwidth, cap, nbytes, connections):
+    """N simultaneous equal flows: completion equals the closed-form
+    parallel-transfer estimate (up to the one-byte remainder split)."""
+    link_spec = Link("a", "b", bandwidth=bandwidth, latency=0.0,
+                     per_flow_cap=cap)
+    expected = parallel_transfer_time(link_spec, nbytes, connections)
+
+    env = Environment()
+    fluid = FairShareLink(env, bandwidth=bandwidth, per_flow_cap=cap)
+    share, remainder = divmod(nbytes, connections)
+    events = [
+        fluid.transfer(share + (1 if i < remainder else 0))
+        for i in range(connections)
+    ]
+    done = env.all_of(events)
+    env.run(done)
+    assert env.now == pytest.approx(expected, rel=0.01)
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    files=st.integers(2, 8),
+    chunks=st.integers(1, 4),
+    fraction=st.floats(0.0, 1.0),
+    local_cores=st.integers(0, 6),
+    cloud_cores=st.integers(0, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_random_configs_preserve_invariants(
+    files, chunks, fraction, local_cores, cloud_cores, seed
+):
+    """Any valid configuration: every job processed once, accounting holds."""
+    if local_cores + cloud_cores == 0:
+        local_cores = 1
+    chunk_bytes = 64 * 1024
+    config = ExperimentConfig(
+        name="fuzz",
+        app="knn",
+        dataset=DatasetSpec(
+            total_bytes=files * chunks * chunk_bytes,
+            num_files=files,
+            chunk_bytes=chunk_bytes,
+            record_bytes=4,
+        ),
+        placement=PlacementSpec(local_fraction=fraction),
+        compute=ComputeSpec(local_cores=local_cores, cloud_cores=cloud_cores),
+        tuning=MiddlewareTuning(job_group_size=3, pool_low_water=1),
+        seed=seed,
+    )
+    report = simulate(config)
+    report.validate()
+    assert report.total_jobs == files * chunks
+    for cluster in report.clusters.values():
+        assert 0 <= cluster.jobs_stolen <= cluster.jobs_processed

@@ -1,0 +1,155 @@
+"""Edge-case tests for the DES kernel beyond the basics in
+test_sim_engine.py: composite-event failure modes, priority ordering,
+and the process/generator contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+)
+
+
+def test_anyof_failure_of_first_component_propagates():
+    env = Environment()
+    bad = env.event()
+    slow = env.timeout(10)
+
+    def waiter():
+        yield AnyOf(env, [bad, slow])
+
+    proc = env.process(waiter())
+    bad.fail(RuntimeError("first to fire"))
+    with pytest.raises(RuntimeError, match="first to fire"):
+        env.run(proc)
+
+
+def test_anyof_with_already_processed_component():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+
+    def waiter():
+        yield env.timeout(1)  # let `done` process
+        value = yield AnyOf(env, [done, env.timeout(50)])
+        return value
+
+    assert env.run(env.process(waiter())) == "early"
+    assert env.now == 1  # did not wait for the slow component
+
+
+def test_allof_with_already_failed_component():
+    env = Environment()
+    dead = env.event()
+
+    def absorb():
+        try:
+            yield dead
+        except ValueError:
+            pass
+
+    env.process(absorb())
+
+    def killer():
+        yield env.timeout(0.5)
+        dead.fail(ValueError("pre-dead"))
+
+    env.process(killer())
+    env.run()  # `dead` is now processed, its failure absorbed
+
+    def waiter():
+        yield AllOf(env, [dead, env.timeout(1)])
+
+    with pytest.raises(ValueError, match="pre-dead"):
+        env.run(env.process(waiter()))
+
+
+def test_priority_orders_simultaneous_events():
+    env = Environment()
+    order = []
+    urgent = env.event()
+    normal = env.event()
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    normal.callbacks.append(lambda e: order.append("normal"))
+    # Trigger normal first but with lower priority.
+    normal.succeed(priority=PRIORITY_NORMAL)
+    urgent.succeed(priority=PRIORITY_URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_event_from_other_environment_rejected():
+    env_a = Environment()
+    env_b = Environment()
+    foreign = env_b.event()
+
+    def waiter():
+        yield foreign
+
+    proc = env_a.process(waiter())
+    foreign.succeed()
+    with pytest.raises(SimulationError, match="another environment"):
+        env_a.run(proc)
+    env_b.run()
+
+
+def test_condition_rejects_mixed_environments():
+    env_a = Environment()
+    env_b = Environment()
+    with pytest.raises(SimulationError):
+        AllOf(env_a, [env_a.event(), env_b.event()])
+    with pytest.raises(SimulationError):
+        AnyOf(env_a, [env_b.event()])
+
+
+def test_value_inspection_before_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_step_on_empty_heap_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_nested_processes_compose():
+    env = Environment()
+
+    def leaf(n):
+        yield env.timeout(n)
+        return n * 10
+
+    def mid():
+        a = yield env.process(leaf(1))
+        b = yield env.process(leaf(2))
+        return a + b
+
+    def root():
+        values = yield AllOf(env, [env.process(mid()), env.process(leaf(5))])
+        return values
+
+    assert env.run(env.process(root())) == [30, 50]
+    assert env.now == 5

@@ -1,0 +1,88 @@
+"""Tests for synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    gaussian_points,
+    labeled_gaussian_points,
+    mixture_values,
+    powerlaw_edges,
+    stream_blocks,
+    zipf_tokens,
+)
+from repro.errors import DataFormatError
+
+
+def test_gaussian_points_shape_and_determinism():
+    a = gaussian_points(100, 3, seed=5)
+    b = gaussian_points(100, 3, seed=5)
+    c = gaussian_points(100, 3, seed=6)
+    assert a.shape == (100, 3)
+    assert a.dtype == np.float32
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_labeled_points_ids():
+    arr = labeled_gaussian_points(10, 2, id_offset=100)
+    assert arr["id"].tolist() == list(range(100, 110))
+    assert arr["coords"].shape == (10, 2)
+
+
+def test_powerlaw_edges_bounds_and_skew():
+    edges = powerlaw_edges(20_000, 500, seed=1)
+    assert edges.shape == (20_000, 2)
+    assert edges.min() >= 0
+    assert edges.max() < 500
+    indeg = np.bincount(edges[:, 1], minlength=500)
+    # Power-law: the top page collects far more than the mean in-degree.
+    assert indeg.max() > 10 * indeg.mean()
+
+
+def test_zipf_tokens_bounds_and_skew():
+    tokens = zipf_tokens(20_000, 100, seed=2)
+    assert tokens.shape == (20_000, 1)
+    assert tokens.min() >= 0 and tokens.max() < 100
+    counts = np.bincount(tokens.ravel(), minlength=100)
+    assert counts[0] > counts[50] > 0 or counts[0] > 20 * counts.mean() / 10
+
+
+def test_mixture_values_bimodal_range():
+    vals = mixture_values(10_000, seed=3).ravel()
+    assert vals.shape == (10_000,)
+    assert 0.0 < vals.mean() < 1.0
+
+
+def test_generator_validation():
+    with pytest.raises(DataFormatError):
+        gaussian_points(0, 3)
+    with pytest.raises(DataFormatError):
+        powerlaw_edges(10, 10, zipf_a=0.9)
+    with pytest.raises(DataFormatError):
+        zipf_tokens(10, 0)
+    with pytest.raises(DataFormatError):
+        mixture_values(-1)
+
+
+def test_stream_blocks_exact_cover():
+    calls = []
+
+    def make(start, count, index):
+        calls.append((start, count, index))
+        return np.arange(start, start + count)
+
+    blocks = list(stream_blocks(10, 4, make))
+    assert [len(b) for b in blocks] == [4, 4, 2]
+    assert np.concatenate(blocks).tolist() == list(range(10))
+    assert calls == [(0, 4, 0), (4, 4, 1), (8, 2, 2)]
+
+
+def test_stream_blocks_rejects_wrong_count():
+    def bad(start, count, index):
+        return np.zeros(count + 1)
+
+    with pytest.raises(DataFormatError):
+        list(stream_blocks(4, 2, bad))

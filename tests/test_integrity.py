@@ -1,0 +1,92 @@
+"""Tests for dataset integrity checksums."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CLOUD_SITE, LOCAL_SITE, DatasetSpec, PlacementSpec
+from repro.core.index import DataIndex, FileEntry
+from repro.data.dataset import DatasetReader, build_dataset
+from repro.data.records import VALUE_SCHEMA
+from repro.errors import DataFormatError, IndexError_
+from repro.storage.objectstore import ObjectStore
+
+
+def make(stores):
+    spec = DatasetSpec(total_bytes=4 * 2 * 64 * 8, num_files=4,
+                       chunk_bytes=64 * 8, record_bytes=8)
+
+    def block(start, count, index):
+        return np.arange(start, start + count, dtype=np.float64).reshape(-1, 1)
+
+    index = build_dataset(spec, PlacementSpec(0.5), VALUE_SCHEMA, block, stores)
+    return index
+
+
+def test_builder_records_checksums(two_site_stores):
+    index = make(two_site_stores)
+    assert all(e.checksum is not None for e in index.files)
+    assert len({e.checksum for e in index.files}) > 1  # content differs
+
+
+def test_verify_clean_dataset(two_site_stores):
+    index = make(two_site_stores)
+    reader = DatasetReader(index, two_site_stores)
+    assert reader.verify_all() == 4
+    assert reader.verify_file(0) is True
+
+
+def test_corruption_detected(two_site_stores):
+    index = make(two_site_stores)
+    entry = index.files[2]
+    store = two_site_stores[entry.site]
+    blob = bytearray(store.get(entry.path))
+    blob[100] ^= 0xFF
+    store.put(entry.path, bytes(blob))
+    reader = DatasetReader(index, two_site_stores)
+    with pytest.raises(DataFormatError, match="integrity"):
+        reader.verify_file(2)
+    # Other files unaffected.
+    assert reader.verify_file(0)
+
+
+def test_checksum_survives_json_roundtrip(two_site_stores):
+    index = make(two_site_stores)
+    restored = DataIndex.from_json(index.to_json())
+    assert [e.checksum for e in restored.files] == [
+        e.checksum for e in index.files
+    ]
+    reader = DatasetReader(restored, two_site_stores)
+    assert reader.verify_all() == 4
+
+
+def test_missing_checksum_is_an_error(two_site_stores):
+    index = make(two_site_stores)
+    entry = index.files[0]
+    bare = FileEntry(
+        file_id=entry.file_id, site=entry.site, path=entry.path,
+        nbytes=entry.nbytes, chunk_bytes=entry.chunk_bytes,
+        units_per_chunk=entry.units_per_chunk, checksum=None,
+    )
+    reader = DatasetReader(DataIndex(files=[bare]), two_site_stores)
+    with pytest.raises(DataFormatError, match="no checksum"):
+        reader.verify_file(entry.file_id)
+
+
+def test_checksum_range_validated():
+    with pytest.raises(IndexError_):
+        FileEntry(file_id=0, site=LOCAL_SITE, path="x", nbytes=64,
+                  chunk_bytes=64, units_per_chunk=8, checksum=2**32)
+
+
+def test_legacy_index_without_checksums_loads():
+    """Indices written before the checksum field must still parse."""
+    legacy = """
+    {"format_version": 1, "files": [
+      {"file_id": 0, "site": "local", "path": "a", "nbytes": 64,
+       "chunk_bytes": 64, "units_per_chunk": 8}
+    ]}
+    """
+    index = DataIndex.from_json(legacy)
+    assert index.files[0].checksum is None

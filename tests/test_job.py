@@ -1,0 +1,85 @@
+"""Tests for jobs and job groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CLOUD_SITE, LOCAL_SITE
+from repro.core.job import Job, JobGroup
+from repro.errors import SchedulingError
+
+
+def make_job(job_id=0, file_id=0, chunk_index=0, site=LOCAL_SITE):
+    return Job(
+        job_id=job_id,
+        file_id=file_id,
+        chunk_index=chunk_index,
+        offset=chunk_index * 1024,
+        nbytes=1024,
+        num_units=128,
+        site=site,
+    )
+
+
+def test_job_locality():
+    job = make_job(site=CLOUD_SITE)
+    assert job.is_local_to(CLOUD_SITE)
+    assert not job.is_local_to(LOCAL_SITE)
+
+
+def test_job_validation():
+    with pytest.raises(SchedulingError):
+        Job(job_id=-1, file_id=0, chunk_index=0, offset=0, nbytes=1, num_units=1,
+            site=LOCAL_SITE)
+    with pytest.raises(SchedulingError):
+        Job(job_id=0, file_id=0, chunk_index=0, offset=0, nbytes=0, num_units=1,
+            site=LOCAL_SITE)
+    with pytest.raises(SchedulingError):
+        Job(job_id=0, file_id=0, chunk_index=0, offset=-5, nbytes=1, num_units=1,
+            site=LOCAL_SITE)
+
+
+def test_job_ordering_by_id():
+    jobs = [make_job(job_id=i) for i in (3, 1, 2)]
+    assert [j.job_id for j in sorted(jobs)] == [1, 2, 3]
+
+
+def test_group_single_file_enforced():
+    with pytest.raises(SchedulingError):
+        JobGroup(
+            group_id=0,
+            cluster="c",
+            jobs=(make_job(0, file_id=0), make_job(1, file_id=1)),
+        )
+
+
+def test_group_requires_jobs():
+    with pytest.raises(SchedulingError):
+        JobGroup(group_id=0, cluster="c", jobs=())
+
+
+def test_group_consecutive_detection():
+    consecutive = JobGroup(
+        group_id=0,
+        cluster="c",
+        jobs=tuple(make_job(i, chunk_index=i) for i in range(4)),
+    )
+    assert consecutive.is_consecutive()
+    scattered = JobGroup(
+        group_id=1,
+        cluster="c",
+        jobs=(make_job(0, chunk_index=0), make_job(1, chunk_index=2)),
+    )
+    assert not scattered.is_consecutive()
+
+
+def test_group_properties():
+    group = JobGroup(
+        group_id=7,
+        cluster="c",
+        jobs=tuple(make_job(i, file_id=3, chunk_index=i, site=CLOUD_SITE)
+                   for i in range(3)),
+    )
+    assert group.file_id == 3
+    assert group.site == CLOUD_SITE
+    assert len(group) == 3

@@ -1,0 +1,101 @@
+"""Tests for the master-side job pool."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import LOCAL_SITE
+from repro.core.job import Job, JobGroup
+from repro.core.jobpool import JobPool
+from repro.errors import SchedulingError
+
+
+def group(group_id: int, job_ids: list[int], file_id: int = 0) -> JobGroup:
+    jobs = tuple(
+        Job(job_id=j, file_id=file_id, chunk_index=i, offset=i * 10, nbytes=10,
+            num_units=1, site=LOCAL_SITE)
+        for i, j in enumerate(job_ids)
+    )
+    return JobGroup(group_id=group_id, cluster="c", jobs=jobs)
+
+
+def test_fifo_order():
+    pool = JobPool()
+    pool.add_group(group(0, [5, 6, 7]))
+    assert [pool.take().job_id for _ in range(3)] == [5, 6, 7]
+    assert pool.take() is None
+
+
+def test_group_completion_signal():
+    pool = JobPool()
+    pool.add_group(group(0, [1, 2]))
+    pool.add_group(group(1, [3], file_id=1))
+    pool.take(), pool.take(), pool.take()
+    assert pool.mark_done(1) is None
+    assert pool.mark_done(3) == 1
+    assert pool.mark_done(2) == 0
+    assert pool.drained
+
+
+def test_double_add_rejected():
+    pool = JobPool()
+    pool.add_group(group(0, [1]))
+    with pytest.raises(SchedulingError):
+        pool.add_group(group(0, [2]))
+    with pytest.raises(SchedulingError):
+        pool.add_group(group(1, [1]))
+
+
+def test_unknown_done_rejected():
+    pool = JobPool()
+    pool.add_group(group(0, [1]))
+    with pytest.raises(SchedulingError):
+        pool.mark_done(99)
+    pool.take()
+    pool.mark_done(1)
+    with pytest.raises(SchedulingError):
+        pool.mark_done(1)  # double completion
+
+
+def test_low_water_and_counts():
+    pool = JobPool(low_water=2)
+    assert pool.needs_refill
+    pool.add_group(group(0, [1, 2, 3, 4]))
+    assert not pool.needs_refill
+    pool.take(), pool.take()
+    assert pool.needs_refill
+    assert pool.in_flight == 2
+    assert not pool.drained
+
+
+def test_negative_low_water_rejected():
+    with pytest.raises(SchedulingError):
+        JobPool(low_water=-1)
+
+
+@given(st.lists(st.integers(1, 6), min_size=1, max_size=10))
+def test_conservation_property(group_sizes):
+    """Every job added is taken exactly once and completes exactly once."""
+    pool = JobPool()
+    next_id = 0
+    for gid, size in enumerate(group_sizes):
+        ids = list(range(next_id, next_id + size))
+        next_id += size
+        pool.add_group(group(gid, ids, file_id=gid))
+    taken = []
+    while True:
+        job = pool.take()
+        if job is None:
+            break
+        taken.append(job.job_id)
+    assert sorted(taken) == list(range(next_id))
+    completed_groups = set()
+    for job_id in taken:
+        result = pool.mark_done(job_id)
+        if result is not None:
+            assert result not in completed_groups
+            completed_groups.add(result)
+    assert completed_groups == set(range(len(group_sizes)))
+    assert pool.drained

@@ -1,0 +1,155 @@
+"""Tests for the fluid fair-share link model.
+
+The steady-state cases are pinned against hand-computed max-min allocations;
+the property test checks byte conservation under arbitrary flow arrivals.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.linkmodel import FairShareLink
+
+
+def run_transfers(link, env, specs):
+    """specs: list of (start_time, nbytes, group). Returns completion times."""
+    done = {}
+
+    def one(i, start, nbytes, group):
+        if start > 0:
+            yield env.timeout(start)
+        yield link.transfer(nbytes, group=group)
+        done[i] = env.now
+
+    for i, (start, nbytes, group) in enumerate(specs):
+        env.process(one(i, start, nbytes, group))
+    env.run()
+    return done
+
+
+def test_single_flow_full_bandwidth():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=100.0)
+    done = run_transfers(link, env, [(0, 500, None)])
+    assert done[0] == pytest.approx(5.0)
+
+
+def test_latency_charged_once():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=100.0, latency=0.5)
+    done = run_transfers(link, env, [(0, 100, None)])
+    assert done[0] == pytest.approx(1.5)
+
+
+def test_equal_sharing():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=100.0)
+    done = run_transfers(link, env, [(0, 300, None), (0, 300, None)])
+    # Two flows at 50 each finish together.
+    assert done[0] == pytest.approx(6.0)
+    assert done[1] == pytest.approx(6.0)
+
+
+def test_residual_speedup_after_completion():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=100.0)
+    done = run_transfers(link, env, [(0, 100, None), (0, 300, None)])
+    # Both at 50 until t=2 (flow 0 done); flow 1 has 200 left at 100/s.
+    assert done[0] == pytest.approx(2.0)
+    assert done[1] == pytest.approx(4.0)
+
+
+def test_per_flow_cap():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=100.0, per_flow_cap=20.0)
+    done = run_transfers(link, env, [(0, 100, None)])
+    assert done[0] == pytest.approx(5.0)  # capped at 20/s despite idle trunk
+
+
+def test_group_cap_shared_within_group():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=1000.0, group_cap=50.0)
+    done = run_transfers(link, env, [(0, 100, "f"), (0, 100, "f"), (0, 100, "g")])
+    # f-flows: 25/s each; g: 50/s.
+    assert done[2] == pytest.approx(2.0)
+    assert done[0] == pytest.approx(4.0)
+    assert done[1] == pytest.approx(4.0)
+
+
+def test_water_filling_redistributes_capped_slack():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=100.0, per_flow_cap=60.0, group_cap=20.0)
+    # One grouped flow capped at 20; one ungrouped flow gets the remaining 60
+    # (its own cap), not the naive 50 fair share.
+    done = run_transfers(link, env, [(0, 100, "f"), (0, 120, None)])
+    assert done[0] == pytest.approx(5.0)
+    assert done[1] == pytest.approx(2.0)
+
+
+def test_late_arrival_slows_existing_flow():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=100.0)
+    done = run_transfers(link, env, [(0, 400, None), (2.0, 100, None)])
+    # Flow 0: 200 bytes by t=2, then 50/s. Flow 1: 50/s from t=2.
+    assert done[1] == pytest.approx(4.0)
+    assert done[0] == pytest.approx(5.0)
+
+
+def test_zero_byte_transfer_completes_after_latency():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=10.0, latency=0.25)
+    done = run_transfers(link, env, [(0, 0, None)])
+    assert done[0] == pytest.approx(0.25)
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        FairShareLink(env, bandwidth=0)
+    with pytest.raises(SimulationError):
+        FairShareLink(env, bandwidth=1, latency=-1)
+    with pytest.raises(SimulationError):
+        FairShareLink(env, bandwidth=1, per_flow_cap=0)
+    link = FairShareLink(env, bandwidth=1)
+    with pytest.raises(SimulationError):
+        link.transfer(-1)
+
+
+def test_stats_accounting():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=100.0)
+    run_transfers(link, env, [(0, 300, None), (1.0, 200, None)])
+    assert link.stats.flows_started == 2
+    assert link.stats.flows_completed == 2
+    assert link.stats.bytes_served == pytest.approx(500.0)
+    assert link.active_flows == 0
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0.0, 10.0),  # start
+            st.integers(1, 10_000),  # bytes
+            st.sampled_from([None, "a", "b"]),  # group
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(10.0, 1000.0),  # bandwidth
+)
+def test_conservation_property(specs, bandwidth):
+    env = Environment()
+    link = FairShareLink(env, bandwidth=bandwidth, per_flow_cap=bandwidth / 2,
+                         group_cap=bandwidth / 3)
+    done = run_transfers(link, env, specs)
+    assert len(done) == len(specs)
+    total = sum(nbytes for _, nbytes, _ in specs)
+    assert link.stats.bytes_served == pytest.approx(total, rel=1e-6, abs=1e-3)
+    # Every flow takes at least its unconstrained minimum time.
+    for i, (start, nbytes, _) in enumerate(specs):
+        assert done[i] >= start + nbytes / bandwidth - 1e-6

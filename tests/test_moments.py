@@ -1,0 +1,104 @@
+"""Tests for the streaming-moments application."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import make_bundle
+from repro.apps.moments import MomentsApp
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    PlacementSpec,
+)
+from repro.core.api import run_serial
+from repro.core.reduction import merge_all
+from repro.data.dataset import DatasetReader, build_dataset
+from repro.data.records import VALUE_SCHEMA
+from repro.runtime.driver import CloudBurstingRuntime
+from repro.storage.objectstore import ObjectStore
+
+
+def run_on(values: np.ndarray, units_per_group: int = 64) -> dict[str, float]:
+    app = MomentsApp()
+    raw = VALUE_SCHEMA.encode(values.reshape(-1, 1))
+    return run_serial(app, [raw], units_per_group=units_per_group)
+
+
+def test_known_answer():
+    stats = run_on(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert stats["count"] == 4
+    assert stats["mean"] == pytest.approx(2.5)
+    assert stats["std"] == pytest.approx(math.sqrt(1.25))
+    assert stats["min"] == 1.0
+    assert stats["max"] == 4.0
+
+
+def test_empty_stream():
+    app = MomentsApp()
+    robj = app.create_reduction_object()
+    stats = app.finalize(robj)
+    assert stats["count"] == 0
+    assert math.isnan(stats["mean"])
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=200),
+    st.integers(1, 64),
+)
+def test_matches_numpy_property(values, group):
+    arr = np.asarray(values, dtype=np.float64)
+    stats = run_on(arr, units_per_group=group)
+    assert stats["count"] == len(arr)
+    assert stats["mean"] == pytest.approx(float(arr.mean()), rel=1e-9, abs=1e-9)
+    assert stats["std"] == pytest.approx(float(arr.std()), rel=1e-6, abs=1e-6)
+    assert stats["min"] == float(arr.min())
+    assert stats["max"] == float(arr.max())
+
+
+def test_worker_split_invariance():
+    arr = np.linspace(-5, 5, 301)
+    app = MomentsApp()
+    whole = app.create_reduction_object()
+    app.local_reduction(whole, arr)
+    parts = []
+    for piece in np.array_split(arr, 7):
+        robj = app.create_reduction_object()
+        app.local_reduction(robj, piece)
+        parts.append(robj)
+    merged = merge_all(parts)
+    assert app.finalize(whole) == pytest.approx(app.finalize(merged))
+
+
+def test_hybrid_runtime_end_to_end():
+    total = 2048
+    bundle = make_bundle("moments", total)
+    spec = DatasetSpec(total_bytes=total * 8, num_files=4, chunk_bytes=128 * 8,
+                       record_bytes=8)
+    stores = {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+    index = build_dataset(spec, PlacementSpec(0.5), bundle.schema,
+                          bundle.block_fn, stores)
+    result = CloudBurstingRuntime(
+        bundle.app, index, stores, ComputeSpec(local_cores=2, cloud_cores=2)
+    ).run()
+    decoded = np.concatenate(
+        [bundle.app.decode_chunk(c)
+         for c in DatasetReader(index, stores).read_all_chunks()]
+    ).ravel()
+    assert result.value["count"] == total
+    assert result.value["mean"] == pytest.approx(float(decoded.mean()))
+    assert result.value["std"] == pytest.approx(float(decoded.std()), rel=1e-6)
+
+
+def test_registered():
+    from repro.apps import available_apps
+
+    assert "moments" in available_apps()

@@ -1,0 +1,84 @@
+"""Property tests for PageRank's stochastic invariants on random graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.pagerank import PageRankApp
+from repro.baselines.serial import pagerank_reference
+
+
+@st.composite
+def random_graph(draw):
+    n_pages = draw(st.integers(2, 30))
+    n_edges = draw(st.integers(1, 120))
+    src = draw(
+        st.lists(st.integers(0, n_pages - 1), min_size=n_edges,
+                 max_size=n_edges)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n_pages - 1), min_size=n_edges,
+                 max_size=n_edges)
+    )
+    edges = np.stack(
+        [np.asarray(src, np.int32), np.asarray(dst, np.int32)], axis=1
+    )
+    return n_pages, edges
+
+
+@settings(deadline=None, max_examples=60)
+@given(random_graph(), st.floats(0.05, 0.95))
+def test_rank_mass_conserved(graph, damping):
+    """One power iteration preserves total rank mass for ANY graph
+    (including dangling pages and self-loops)."""
+    n_pages, edges = graph
+    outdeg = np.bincount(edges[:, 0], minlength=n_pages).astype(np.int64)
+    app = PageRankApp(n_pages, outdeg, damping=damping)
+    robj = app.create_reduction_object()
+    app.local_reduction(robj, edges)
+    ranks = app.finalize(robj)
+    assert ranks.sum() == pytest.approx(1.0, rel=1e-9)
+    assert (ranks > 0).all()
+
+
+@settings(deadline=None, max_examples=30)
+@given(random_graph(), st.integers(1, 10))
+def test_app_matches_reference_over_iterations(graph, iterations):
+    n_pages, edges = graph
+    outdeg = np.bincount(edges[:, 0], minlength=n_pages).astype(np.int64)
+    app = PageRankApp(n_pages, outdeg)
+    ranks = None
+    for _ in range(iterations):
+        robj = app.create_reduction_object()
+        app.local_reduction(robj, edges)
+        ranks = app.finalize(robj)
+        app.update(ranks)
+    expected = pagerank_reference(edges, n_pages, iterations=iterations)
+    np.testing.assert_allclose(ranks, expected, rtol=1e-10)
+
+
+@settings(deadline=None, max_examples=30)
+@given(random_graph(), st.integers(2, 5))
+def test_edge_partitioning_invariance(graph, parts):
+    """Splitting the edge list across workers and merging equals the
+    single-worker pass — the distribution contract for graphs."""
+    from repro.core.reduction import merge_all
+
+    n_pages, edges = graph
+    outdeg = np.bincount(edges[:, 0], minlength=n_pages).astype(np.int64)
+    app = PageRankApp(n_pages, outdeg)
+    whole = app.create_reduction_object()
+    app.local_reduction(whole, edges)
+    robjs = []
+    for piece in np.array_split(edges, parts):
+        robj = app.create_reduction_object()
+        if len(piece):
+            app.local_reduction(robj, piece)
+        robjs.append(robj)
+    merged = merge_all(robjs)
+    np.testing.assert_allclose(
+        app.finalize(whole), app.finalize(merged), rtol=1e-12
+    )

@@ -1,0 +1,56 @@
+"""Tests for placement strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import CLOUD_SITE, LOCAL_SITE, PlacementSpec
+from repro.core.partition import (
+    interleaved_placement,
+    placement_summary,
+    prefix_placement,
+    random_placement,
+)
+from repro.errors import ConfigurationError
+
+
+def test_prefix_placement():
+    sites = prefix_placement(6, PlacementSpec(0.5))
+    assert sites == [LOCAL_SITE] * 3 + [CLOUD_SITE] * 3
+
+
+def test_interleaved_spreads_local_files():
+    sites = interleaved_placement(8, PlacementSpec(0.5))
+    assert sites.count(LOCAL_SITE) == 4
+    # No run of three consecutive local files when interleaving 50%.
+    joined = "".join("L" if s == LOCAL_SITE else "C" for s in sites)
+    assert "LLL" not in joined
+
+
+def test_random_placement_seeded():
+    a = random_placement(16, PlacementSpec(0.25), seed=3)
+    b = random_placement(16, PlacementSpec(0.25), seed=3)
+    c = random_placement(16, PlacementSpec(0.25), seed=4)
+    assert a == b
+    assert a.count(LOCAL_SITE) == 4
+    assert c.count(LOCAL_SITE) == 4
+
+
+def test_summary_counts_and_validates():
+    summary = placement_summary([LOCAL_SITE, CLOUD_SITE, CLOUD_SITE])
+    assert summary == {LOCAL_SITE: 1, CLOUD_SITE: 2}
+    assert placement_summary([]) == {LOCAL_SITE: 0, CLOUD_SITE: 0}
+    with pytest.raises(ConfigurationError):
+        placement_summary(["mars"])
+
+
+@given(files=st.integers(1, 40), fraction=st.floats(0.0, 1.0))
+def test_all_strategies_honor_fraction(files, fraction):
+    spec = PlacementSpec(fraction)
+    expected = spec.local_files(files)
+    for strategy in (prefix_placement, interleaved_placement, random_placement):
+        sites = strategy(files, spec)
+        assert len(sites) == files
+        assert sites.count(LOCAL_SITE) == expected

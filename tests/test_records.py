@@ -1,0 +1,83 @@
+"""Tests for record schemas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.records import (
+    EDGE_SCHEMA,
+    TOKEN_SCHEMA,
+    VALUE_SCHEMA,
+    idpoint_schema,
+    point_schema,
+)
+from repro.errors import DataFormatError
+
+
+def test_point_schema_roundtrip():
+    schema = point_schema(3)
+    assert schema.record_bytes == 12
+    pts = np.arange(12, dtype=np.float32).reshape(4, 3)
+    decoded = schema.decode(schema.encode(pts))
+    np.testing.assert_array_equal(decoded, pts)
+    assert schema.units_in(48) == 4
+
+
+def test_idpoint_schema_roundtrip():
+    schema = idpoint_schema(2)
+    assert schema.record_bytes == 8 + 8
+    arr = np.zeros(3, dtype=schema.dtype)
+    arr["id"] = [7, 8, 9]
+    arr["coords"] = np.ones((3, 2), dtype=np.float32)
+    decoded = schema.decode(schema.encode(arr))
+    np.testing.assert_array_equal(decoded["id"], [7, 8, 9])
+    np.testing.assert_array_equal(decoded["coords"], arr["coords"])
+
+
+def test_edge_schema():
+    edges = np.array([[0, 1], [2, 3]], dtype=np.int32)
+    decoded = EDGE_SCHEMA.decode(EDGE_SCHEMA.encode(edges))
+    np.testing.assert_array_equal(decoded, edges)
+    assert EDGE_SCHEMA.record_bytes == 8
+
+
+def test_token_and_value_schemas():
+    assert TOKEN_SCHEMA.record_bytes == 4
+    assert VALUE_SCHEMA.record_bytes == 8
+
+
+def test_decode_rejects_ragged():
+    schema = point_schema(3)
+    with pytest.raises(DataFormatError):
+        schema.decode(b"\x00" * 13)
+    with pytest.raises(DataFormatError):
+        schema.units_in(13)
+
+
+def test_encode_rejects_wrong_shape():
+    schema = point_schema(3)
+    with pytest.raises(DataFormatError):
+        schema.encode(np.zeros((4, 2), dtype=np.float32))
+
+
+def test_bad_dims_rejected():
+    with pytest.raises(DataFormatError):
+        point_schema(0)
+    with pytest.raises(DataFormatError):
+        idpoint_schema(-1)
+
+
+@given(
+    st.integers(1, 6),
+    st.lists(st.floats(-1e4, 1e4, allow_nan=False, width=32), min_size=0,
+             max_size=30),
+)
+def test_point_roundtrip_property(dims, flat):
+    n = len(flat) // dims
+    pts = np.asarray(flat[: n * dims], dtype=np.float32).reshape(n, dims)
+    schema = point_schema(dims)
+    decoded = schema.decode(schema.encode(pts))
+    np.testing.assert_array_equal(decoded, pts)

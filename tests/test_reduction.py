@@ -1,0 +1,282 @@
+"""Unit and property tests for reduction objects.
+
+The key property — the paper's explicit API contract — is that merge order
+does not change the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduction import (
+    ArrayReduction,
+    DictReduction,
+    ReductionObject,
+    ScalarReduction,
+    StructReduction,
+    TopKReduction,
+    from_bytes,
+    merge_all,
+)
+from repro.errors import ReductionError
+
+
+# -- ArrayReduction -----------------------------------------------------------
+
+
+def test_array_sum_merge():
+    a = ArrayReduction((3,), data=np.array([1.0, 2.0, 3.0]))
+    b = ArrayReduction((3,), data=np.array([10.0, 20.0, 30.0]))
+    a.merge(b)
+    np.testing.assert_allclose(a.value(), [11.0, 22.0, 33.0])
+    # b untouched
+    np.testing.assert_allclose(b.value(), [10.0, 20.0, 30.0])
+
+
+def test_array_min_max_identity():
+    lo = ArrayReduction((2,), op="min")
+    hi = ArrayReduction((2,), op="max")
+    assert np.all(np.isinf(lo.value()))
+    lo.merge(ArrayReduction((2,), op="min", data=np.array([3.0, -1.0])))
+    hi.merge(ArrayReduction((2,), op="max", data=np.array([3.0, -1.0])))
+    np.testing.assert_allclose(lo.value(), [3.0, -1.0])
+    np.testing.assert_allclose(hi.value(), [3.0, -1.0])
+
+
+def test_array_shape_mismatch_rejected():
+    a = ArrayReduction((3,))
+    with pytest.raises(ReductionError):
+        a.merge(ArrayReduction((4,)))
+    with pytest.raises(ReductionError):
+        a.merge(ArrayReduction((3,), op="min"))
+    with pytest.raises(ReductionError):
+        a.merge(ScalarReduction())
+
+
+def test_array_unknown_op_rejected():
+    with pytest.raises(ReductionError):
+        ArrayReduction((2,), op="median")
+
+
+def test_array_roundtrip():
+    a = ArrayReduction((2, 3), dtype=np.float32, op="max")
+    a.merge(ArrayReduction((2, 3), dtype=np.float32, op="max",
+                           data=np.arange(6, dtype=np.float32).reshape(2, 3)))
+    b = from_bytes(a.to_bytes())
+    assert isinstance(b, ArrayReduction)
+    assert b.op == "max"
+    np.testing.assert_array_equal(a.value(), b.value())
+
+
+# -- DictReduction ------------------------------------------------------------
+
+
+def test_dict_add_and_merge():
+    a = DictReduction("sum")
+    a.add("x", 1)
+    a.add("x", 2)
+    b = DictReduction("sum", {"x": 10, "y": 5})
+    a.merge(b)
+    assert a.value() == {"x": 13, "y": 5}
+
+
+def test_dict_combiner_mismatch():
+    with pytest.raises(ReductionError):
+        DictReduction("sum").merge(DictReduction("max"))
+
+
+def test_dict_roundtrip():
+    a = DictReduction("max", {"k": 7})
+    b = from_bytes(a.to_bytes())
+    assert isinstance(b, DictReduction)
+    assert b.value() == {"k": 7}
+    assert b.combiner_name == "max"
+
+
+# -- TopKReduction ------------------------------------------------------------
+
+
+def test_topk_keeps_k_smallest():
+    t = TopKReduction(3)
+    t.offer(np.array([5.0, 1.0, 9.0, 2.0]), np.array([50, 10, 90, 20]))
+    assert t.value() == [(1.0, 10), (2.0, 20), (5.0, 50)]
+
+
+def test_topk_tie_break_by_id():
+    t = TopKReduction(2)
+    t.offer(np.array([1.0, 1.0, 1.0]), np.array([30, 10, 20]))
+    assert t.value() == [(1.0, 10), (1.0, 20)]
+
+
+def test_topk_worst():
+    t = TopKReduction(2)
+    assert t.worst == float("inf")
+    t.offer(np.array([3.0, 1.0]), np.array([3, 1]))
+    assert t.worst == 3.0
+
+
+def test_topk_merge_k_mismatch():
+    with pytest.raises(ReductionError):
+        TopKReduction(2).merge(TopKReduction(3))
+
+
+def test_topk_requires_positive_k():
+    with pytest.raises(ReductionError):
+        TopKReduction(0)
+
+
+def test_topk_roundtrip():
+    t = TopKReduction(2)
+    t.offer(np.array([2.0, 1.0]), np.array([2, 1]))
+    u = from_bytes(t.to_bytes())
+    assert isinstance(u, TopKReduction)
+    assert u.value() == t.value()
+
+
+# -- ScalarReduction ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "combiner,values,expected",
+    [("sum", [1.0, 2.0, 3.0], 6.0), ("min", [3.0, 1.0, 2.0], 1.0),
+     ("max", [3.0, 1.0, 2.0], 3.0)],
+)
+def test_scalar_combiners(combiner, values, expected):
+    s = ScalarReduction(combiner)
+    for v in values:
+        s.add(v)
+    assert s.value() == expected
+
+
+def test_scalar_roundtrip():
+    s = ScalarReduction("min", initial=4.5)
+    t = from_bytes(s.to_bytes())
+    assert isinstance(t, ScalarReduction)
+    assert t.value() == 4.5
+
+
+# -- StructReduction ----------------------------------------------------------
+
+
+def test_struct_merges_fieldwise():
+    a = StructReduction({"s": ScalarReduction("sum", 1.0),
+                         "m": ScalarReduction("max", 5.0)})
+    b = StructReduction({"s": ScalarReduction("sum", 2.0),
+                         "m": ScalarReduction("max", 3.0)})
+    a.merge(b)
+    assert a.value() == {"s": 3.0, "m": 5.0}
+
+
+def test_struct_field_mismatch():
+    a = StructReduction({"x": ScalarReduction()})
+    b = StructReduction({"y": ScalarReduction()})
+    with pytest.raises(ReductionError):
+        a.merge(b)
+
+
+def test_struct_empty_rejected():
+    with pytest.raises(ReductionError):
+        StructReduction({})
+
+
+def test_struct_roundtrip():
+    a = StructReduction({
+        "arr": ArrayReduction((2,), data=np.array([1.0, 2.0])),
+        "top": TopKReduction(1, np.array([0.5]), np.array([7])),
+    })
+    b = from_bytes(a.to_bytes())
+    assert isinstance(b, StructReduction)
+    np.testing.assert_array_equal(b["arr"].value(), [1.0, 2.0])
+    assert b["top"].value() == [(0.5, 7)]
+
+
+# -- merge_all ------------------------------------------------------------------
+
+
+def test_merge_all_empty_rejected():
+    with pytest.raises(ReductionError):
+        merge_all([])
+
+
+def test_merge_all_does_not_mutate_inputs():
+    parts = [ScalarReduction("sum", float(i)) for i in range(4)]
+    total = merge_all(parts)
+    assert total.value() == 6.0
+    assert [p.value() for p in parts] == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_from_bytes_rejects_garbage():
+    with pytest.raises(ReductionError):
+        from_bytes(b"")
+    with pytest.raises(ReductionError):
+        from_bytes(b"\x05\x00\x00\x00XXXXXjunk")
+
+
+# -- property: merge order independence -------------------------------------------
+
+
+@st.composite
+def scalar_parts(draw):
+    combiner = draw(st.sampled_from(["sum", "min", "max"]))
+    values = draw(st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1,
+        max_size=8))
+    return combiner, values
+
+
+@given(scalar_parts(), st.randoms(use_true_random=False))
+def test_scalar_merge_order_independent(parts, rnd):
+    combiner, values = parts
+    objs = [ScalarReduction(combiner, v) for v in values]
+    forward = merge_all(objs).value()
+    shuffled = list(objs)
+    rnd.shuffle(shuffled)
+    assert merge_all(shuffled).value() == pytest.approx(forward, rel=1e-9, abs=1e-9)
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=6,
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(min_value=1, max_value=4),
+    st.randoms(use_true_random=False),
+)
+def test_topk_merge_order_independent(batches, k, rnd):
+    objs = []
+    for batch in batches:
+        t = TopKReduction(k)
+        if batch:
+            scores, ids = zip(*batch)
+            t.offer(np.array(scores), np.array(ids))
+        objs.append(t)
+    forward = merge_all(objs).value()
+    shuffled = list(objs)
+    rnd.shuffle(shuffled)
+    assert merge_all(shuffled).value() == forward
+
+
+@given(
+    st.lists(
+        st.dictionaries(st.integers(0, 10), st.integers(-100, 100), max_size=5),
+        min_size=1,
+        max_size=5,
+    ),
+    st.randoms(use_true_random=False),
+)
+def test_dict_sum_merge_order_independent(dicts, rnd):
+    objs = [DictReduction("sum", d) for d in dicts]
+    forward = merge_all(objs).value()
+    shuffled = list(objs)
+    rnd.shuffle(shuffled)
+    assert merge_all(shuffled).value() == forward

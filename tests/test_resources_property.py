@@ -1,0 +1,81 @@
+"""Property tests for the simulated Resource/Store primitives under
+randomized workloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    capacity=st.integers(1, 8),
+    tasks=st.lists(
+        st.tuples(st.floats(0.0, 5.0), st.floats(0.01, 3.0)),  # (start, hold)
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_resource_capacity_never_exceeded(capacity, tasks):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    active = [0]
+    peak = [0]
+    completed = [0]
+
+    def worker(start, hold):
+        if start > 0:
+            yield env.timeout(start)
+        req = res.request()
+        yield req
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        yield env.timeout(hold)
+        active[0] -= 1
+        res.release(req)
+        completed[0] += 1
+
+    for start, hold in tasks:
+        env.process(worker(start, hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert completed[0] == len(tasks)
+    assert res.in_use == 0
+    assert res.queue_length == 0
+    assert res.grants == len(tasks)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    puts=st.lists(st.tuples(st.floats(0.0, 5.0), st.integers(0, 99)),
+                  min_size=1, max_size=25),
+    consumers=st.integers(1, 5),
+)
+def test_store_delivers_every_item_exactly_once(puts, consumers):
+    env = Environment()
+    store = Store(env)
+    received: list[int] = []
+    per_consumer = len(puts) // consumers
+    leftovers = len(puts) - per_consumer * consumers
+
+    def producer():
+        for delay, item in puts:
+            if delay > 0:
+                yield env.timeout(delay)
+            store.put(item)
+
+    def consumer(count):
+        for _ in range(count):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer())
+    for i in range(consumers):
+        env.process(consumer(per_consumer + (1 if i < leftovers else 0)))
+    env.run()
+    assert sorted(received) == sorted(item for _, item in puts)
+    assert len(store) == 0

@@ -1,0 +1,79 @@
+"""Tests for multi-threaded chunk retrieval."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.objectstore import ObjectStore
+from repro.storage.retrieval import ChunkRetriever, plan_ranges
+
+
+def test_plan_ranges_even_split():
+    plans = plan_ranges(100, 10, 2)
+    assert [(p.offset, p.length) for p in plans] == [(100, 5), (105, 5)]
+
+
+def test_plan_ranges_remainder_spread():
+    plans = plan_ranges(0, 10, 3)
+    assert [p.length for p in plans] == [4, 3, 3]
+
+
+def test_plan_ranges_fewer_parts_than_requested():
+    assert len(plan_ranges(0, 2, 8)) == 2
+    assert plan_ranges(0, 0, 4) == []
+
+
+def test_plan_ranges_validation():
+    with pytest.raises(StorageError):
+        plan_ranges(0, -1, 2)
+    with pytest.raises(StorageError):
+        plan_ranges(0, 10, 0)
+
+
+@given(
+    offset=st.integers(0, 1000),
+    nbytes=st.integers(0, 5000),
+    parts=st.integers(1, 32),
+)
+def test_plan_ranges_exact_cover_property(offset, nbytes, parts):
+    plans = plan_ranges(offset, nbytes, parts)
+    cursor = offset
+    for p in plans:
+        assert p.offset == cursor
+        assert p.length > 0
+        cursor += p.length
+    assert cursor == offset + nbytes
+    if plans:
+        lengths = [p.length for p in plans]
+        assert max(lengths) - min(lengths) <= 1
+
+
+def test_retriever_reassembles_in_order():
+    store = ObjectStore()
+    blob = bytes(range(256)) * 4
+    store.put("k", blob)
+    fetched = ChunkRetriever(store, threads=5).fetch("k", 100, 500)
+    assert fetched == blob[100:600]
+    assert store.stats.gets == 5
+
+
+def test_retriever_single_thread_single_get():
+    store = ObjectStore()
+    store.put("k", b"abcdef")
+    fetched = ChunkRetriever(store, threads=1).fetch("k", 1, 4)
+    assert fetched == b"bcde"
+    assert store.stats.gets == 1
+
+
+def test_retriever_zero_bytes():
+    store = ObjectStore()
+    store.put("k", b"abc")
+    assert ChunkRetriever(store, threads=3).fetch("k", 1, 0) == b""
+
+
+def test_retriever_rejects_bad_threads():
+    with pytest.raises(StorageError):
+        ChunkRetriever(ObjectStore(), threads=0)

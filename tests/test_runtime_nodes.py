@@ -1,0 +1,116 @@
+"""Protocol-level tests for head and master nodes (driven manually, no
+full runtime)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LOCAL_SITE, MiddlewareTuning, PlacementSpec
+from repro.core.index import build_index
+from repro.core.reduction import ScalarReduction, from_bytes
+from repro.core.scheduler import HeadScheduler
+from repro.errors import RuntimeProtocolError
+from repro.runtime.head import HeadNode
+from repro.runtime.master import MasterNode
+from repro.runtime.messages import (
+    JobRequest,
+    ReductionUpload,
+    SlaveJobRequest,
+    SlaveJobDone,
+    SlaveReduction,
+)
+from repro.runtime.transport import Mailbox
+
+from conftest import small_spec
+
+
+def make_head(files=2, chunks=2, clusters=("local-cluster",)):
+    spec = small_spec(record_bytes=4, files=files, chunks_per_file=chunks)
+    index = build_index(spec, PlacementSpec(local_fraction=1.0))
+    scheduler = HeadScheduler(index.jobs(), MiddlewareTuning())
+    for name in clusters:
+        scheduler.register_cluster(name, LOCAL_SITE)
+    return HeadNode(scheduler, list(clusters))
+
+
+def test_head_serves_requests_and_merges():
+    head = make_head(files=2, chunks=4)
+    head.start()
+    reply = Mailbox("reply")
+    head.inbox.post(JobRequest(cluster="local-cluster", reply_to=reply, max_jobs=4))
+    group = reply.take(timeout=2.0).group
+    assert group is not None and len(group) == 4
+    robj = ScalarReduction("sum", 5.0)
+    head.inbox.post(ReductionUpload(cluster="local-cluster", blob=robj.to_bytes()))
+    result = head.join(timeout=5.0)
+    assert from_bytes(result.blob).value() == 5.0
+    assert result.clusters_reported == ("local-cluster",)
+
+
+def test_head_rejects_duplicate_upload():
+    head = make_head(clusters=("a", "b"))
+    head.start()
+    blob = ScalarReduction("sum", 1.0).to_bytes()
+    head.inbox.post(ReductionUpload(cluster="a", blob=blob))
+    head.inbox.post(ReductionUpload(cluster="a", blob=blob))
+    with pytest.raises(RuntimeProtocolError, match="twice"):
+        head.join(timeout=5.0)
+
+
+def test_head_rejects_unknown_cluster_and_message():
+    head = make_head()
+    head.start()
+    head.inbox.post(ReductionUpload(cluster="stranger", blob=b""))
+    with pytest.raises(RuntimeProtocolError, match="unknown cluster"):
+        head.join(timeout=5.0)
+
+    head2 = make_head()
+    head2.start()
+    head2.inbox.post("garbage")
+    with pytest.raises(RuntimeProtocolError, match="unexpected message"):
+        head2.join(timeout=5.0)
+
+
+def test_head_requires_clusters_and_start():
+    with pytest.raises(RuntimeProtocolError):
+        make_head(clusters=())
+    head = make_head()
+    with pytest.raises(RuntimeProtocolError):
+        head.join()
+
+
+def test_master_end_to_end_protocol():
+    """Drive a master with two fake slaves against a real head."""
+    head = make_head(files=2, chunks=2, clusters=("local-cluster",))
+    head.start()
+    master = MasterNode("local-cluster", LOCAL_SITE, head.inbox, num_slaves=2)
+    master.start()
+
+    replies = [Mailbox("s0"), Mailbox("s1")]
+    done_jobs = []
+    robjs = [ScalarReduction("sum", 0.0), ScalarReduction("sum", 0.0)]
+    active = [0, 1]
+    while active:
+        for sid in list(active):
+            master.inbox.post(SlaveJobRequest(slave_id=sid, reply_to=replies[sid]))
+            job = replies[sid].take(timeout=2.0).job
+            if job is None:
+                master.inbox.post(SlaveReduction(slave_id=sid, robj=robjs[sid]))
+                active.remove(sid)
+                continue
+            done_jobs.append(job.job_id)
+            robjs[sid].add(1.0)
+            master.inbox.post(SlaveJobDone(slave_id=sid, job=job))
+    master.join(timeout=5.0)
+    result = head.join(timeout=5.0)
+    assert sorted(done_jobs) == [0, 1, 2, 3]
+    assert from_bytes(result.blob).value() == 4.0  # one unit per job
+
+
+def test_master_validation():
+    head = make_head()
+    with pytest.raises(RuntimeProtocolError):
+        MasterNode("c", LOCAL_SITE, head.inbox, num_slaves=0)
+    master = MasterNode("c", LOCAL_SITE, head.inbox, num_slaves=1)
+    with pytest.raises(RuntimeProtocolError):
+        master.join()

@@ -1,0 +1,76 @@
+"""Property test: the executable runtime equals the serial oracle for
+randomized shapes (placement, core split, chunking, group size).
+
+Thread spin-up makes each example cost milliseconds, so the example count
+is capped; the shapes drawn still cover single-site/hybrid, skewed
+placements, and ragged unit-group sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import make_bundle
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    MiddlewareTuning,
+    PlacementSpec,
+)
+from repro.core.api import run_serial
+from repro.data.dataset import DatasetReader, build_dataset
+from repro.runtime.driver import CloudBurstingRuntime
+from repro.storage.objectstore import ObjectStore
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    files=st.integers(1, 6),
+    chunks=st.integers(1, 4),
+    units_per_chunk=st.integers(8, 64),
+    fraction=st.floats(0.0, 1.0),
+    local_cores=st.integers(0, 3),
+    cloud_cores=st.integers(0, 3),
+    units_per_group=st.integers(1, 200),
+    seed=st.integers(0, 1000),
+)
+def test_runtime_equals_oracle_for_random_shapes(
+    files, chunks, units_per_chunk, fraction, local_cores, cloud_cores,
+    units_per_group, seed,
+):
+    if local_cores + cloud_cores == 0:
+        local_cores = 1
+    total_units = files * chunks * units_per_chunk
+    bundle = make_bundle("wordcount", total_units, seed=seed, vocabulary=32)
+    rb = bundle.schema.record_bytes
+    spec = DatasetSpec(
+        total_bytes=total_units * rb,
+        num_files=files,
+        chunk_bytes=units_per_chunk * rb,
+        record_bytes=rb,
+    )
+    stores = {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+    index = build_dataset(
+        spec, PlacementSpec(fraction), bundle.schema, bundle.block_fn, stores
+    )
+    runtime = CloudBurstingRuntime(
+        bundle.app,
+        index,
+        stores,
+        ComputeSpec(local_cores=local_cores, cloud_cores=cloud_cores),
+        tuning=MiddlewareTuning(units_per_group=units_per_group,
+                                job_group_size=2, pool_low_water=1),
+    )
+    result = runtime.run()
+    oracle = run_serial(
+        bundle.app,
+        DatasetReader(index, stores).read_all_chunks(),
+        units_per_group=units_per_group,
+    )
+    assert result.value == oracle
+    assert sum(result.value.values()) == total_units
+    assert result.telemetry.total_jobs == spec.num_chunks

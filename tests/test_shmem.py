@@ -1,0 +1,74 @@
+"""Tests for the intra-node shared-memory reduction strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import make_bundle
+from repro.core.api import run_serial
+from repro.core.shmem import ShmemStrategy, run_threaded
+from repro.errors import ReductionError
+
+
+def chunks_for(key, total_units=2048, chunk_units=128, **params):
+    bundle = make_bundle(key, total_units, **params)
+    out = []
+    for start in range(0, total_units, chunk_units):
+        block = bundle.block_fn(start, chunk_units, start)
+        out.append(bundle.schema.encode(block))
+    return bundle, out
+
+
+@pytest.mark.parametrize("strategy", list(ShmemStrategy))
+@pytest.mark.parametrize("key", ["histogram", "wordcount", "knn"])
+def test_all_strategies_agree_with_serial(strategy, key):
+    bundle, chunks = chunks_for(key)
+    serial = run_serial(bundle.app, chunks, units_per_group=100)
+    result, stats = run_threaded(
+        bundle.app, chunks, threads=4, strategy=strategy, units_per_group=100
+    )
+    if isinstance(serial, np.ndarray):
+        np.testing.assert_array_equal(result, serial)
+    else:
+        assert result == serial
+    assert stats.strategy is strategy
+    assert stats.threads == 4
+
+
+def test_replication_holds_threads_copies():
+    bundle, chunks = chunks_for("histogram", bins=64)
+    _, repl = run_threaded(bundle.app, chunks, threads=4,
+                           strategy=ShmemStrategy.FULL_REPLICATION)
+    _, lock = run_threaded(bundle.app, chunks, threads=4,
+                           strategy=ShmemStrategy.FULL_LOCKING)
+    assert repl.robj_copies == 4
+    assert lock.robj_copies == 1
+    assert repl.robj_bytes > lock.robj_bytes
+    assert repl.lock_acquisitions == 0
+    assert lock.lock_acquisitions == len(chunks)
+
+
+def test_chunk_merge_locks_once_per_chunk():
+    bundle, chunks = chunks_for("wordcount", vocabulary=64)
+    _, stats = run_threaded(bundle.app, chunks, threads=3,
+                            strategy=ShmemStrategy.CHUNK_MERGE)
+    assert stats.lock_acquisitions == len(chunks)
+    assert stats.robj_copies == 4  # shared + one scratch per thread
+
+
+def test_single_thread_all_strategies_equal():
+    bundle, chunks = chunks_for("histogram", bins=16)
+    results = {
+        s: run_threaded(bundle.app, chunks, threads=1, strategy=s)[0]
+        for s in ShmemStrategy
+    }
+    base = results[ShmemStrategy.FULL_REPLICATION]
+    for value in results.values():
+        np.testing.assert_array_equal(value, base)
+
+
+def test_invalid_thread_count():
+    bundle, chunks = chunks_for("histogram")
+    with pytest.raises(ReductionError):
+        run_threaded(bundle.app, chunks, threads=0)

@@ -1,0 +1,223 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import AllOf, AnyOf, Environment
+
+
+def test_timeout_ordering_and_clock():
+    env = Environment()
+    log = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        log.append((tag, env.now))
+
+    env.process(proc(2.0, "b"))
+    env.process(proc(1.0, "a"))
+    env.process(proc(2.0, "c"))  # same time as b: creation order wins
+    env.run()
+    assert log == [("a", 1.0), ("b", 2.0), ("c", 2.0)]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value + 1
+
+    result = env.run(env.process(parent()))
+    assert result == 43
+    assert env.now == 3
+
+
+def test_event_succeed_and_chained_wait():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(tag):
+        value = yield gate
+        seen.append((tag, value))
+
+    env.process(waiter("x"))
+    env.process(waiter("y"))
+
+    def opener():
+        yield env.timeout(5)
+        gate.succeed("open")
+
+    env.process(opener())
+    env.run()
+    assert seen == [("x", "open"), ("y", "open")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_failure_propagates_into_process():
+    env = Environment()
+    evt = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield evt
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    evt.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_uncaught_process_failure_surfaces():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("dead")
+
+    proc = env.process(bad())
+    with pytest.raises(RuntimeError, match="dead"):
+        env.run(proc)
+
+
+def test_unwaited_failed_event_raises():
+    env = Environment()
+    evt = env.event()
+    evt.fail(RuntimeError("lost"))
+    with pytest.raises(RuntimeError, match="lost"):
+        env.run()
+
+
+def test_yield_non_event_rejected():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    proc = env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run(proc)
+
+
+def test_allof_collects_values():
+    env = Environment()
+
+    def child(d, v):
+        yield env.timeout(d)
+        return v
+
+    def parent():
+        values = yield AllOf(env, [env.process(child(2, "a")),
+                                   env.process(child(1, "b"))])
+        return values
+
+    assert env.run(env.process(parent())) == ["a", "b"]
+    assert env.now == 2
+
+
+def test_allof_empty_succeeds_immediately():
+    env = Environment()
+
+    def parent():
+        values = yield AllOf(env, [])
+        return values
+
+    assert env.run(env.process(parent())) == []
+
+
+def test_anyof_returns_first():
+    env = Environment()
+
+    def child(d, v):
+        yield env.timeout(d)
+        return v
+
+    def parent():
+        value = yield AnyOf(env, [env.process(child(5, "slow")),
+                                  env.process(child(1, "fast"))])
+        return value
+
+    assert env.run(env.process(parent())) == "fast"
+    assert env.now == 1
+
+
+def test_run_until_time():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(10)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run(until=5.0)
+    assert env.now == 5.0
+    assert not fired
+    env.run(until=15.0)
+    assert fired == [10.0]
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError, match="drained"):
+        env.run(never)
+
+
+def test_yielding_processed_event_continues_synchronously():
+    env = Environment()
+    done = env.event()
+    done.succeed("v")
+
+    def proc():
+        yield env.timeout(1)  # let `done` process first
+        value = yield done
+        return value
+
+    assert env.run(env.process(proc())) == "v"
+
+
+def test_determinism_event_counts():
+    def build_and_run():
+        env = Environment()
+        order = []
+
+        def worker(i):
+            yield env.timeout(i % 3)
+            order.append(i)
+            yield env.timeout(1)
+            order.append(-i)
+
+        for i in range(10):
+            env.process(worker(i))
+        env.run()
+        return order, env.events_processed
+
+    a = build_and_run()
+    b = build_and_run()
+    assert a == b

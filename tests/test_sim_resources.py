@@ -1,0 +1,108 @@
+"""Tests for simulated Resource and Store primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+
+def test_resource_limits_concurrency():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active = []
+    peak = []
+
+    def worker(i):
+        req = res.request()
+        yield req
+        active.append(i)
+        peak.append(len(active))
+        yield env.timeout(1)
+        active.remove(i)
+        res.release(req)
+
+    for i in range(5):
+        env.process(worker(i))
+    env.run()
+    assert max(peak) <= 2
+    assert res.grants == 5
+    assert res.in_use == 0
+    assert env.now == 3.0  # ceil(5/2) batches of 1s
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(i):
+        req = res.request()
+        yield req
+        order.append(i)
+        yield env.timeout(1)
+        res.release(req)
+
+    for i in range(4):
+        env.process(worker(i))
+    env.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_resource_release_validation():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_store_buffers_items():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [i for i, _ in got] == [0, 1, 2]
+
+
+def test_store_getters_wait_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(consumer("a"))
+    env.process(consumer("b"))
+
+    def producer():
+        yield env.timeout(1)
+        store.put(1)
+        store.put(2)
+
+    env.process(producer())
+    env.run()
+    assert got == [("a", 1), ("b", 2)]
+    assert len(store) == 0
+    assert store.puts == 2 and store.gets == 2

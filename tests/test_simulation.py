@@ -1,0 +1,128 @@
+"""Integration tests for the end-to-end cloud-bursting simulation.
+
+These run the paper's configurations at reduced data scale (same 960-job
+structure, smaller chunks) so the whole file executes in seconds, and
+check the *accounting invariants* and *qualitative shapes* rather than
+absolute times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import env_config, figure4_configs
+from repro.config import CLOUD_SITE, LOCAL_SITE
+from repro.errors import SimulationError
+from repro.sim.calibration import PAPER_CALIBRATION
+from repro.sim.simulation import CloudBurstSimulation, simulate
+
+SCALE = 0.05  # 960 jobs of 6.4 MB instead of 128 MB
+
+
+@pytest.fixture(scope="module")
+def knn_hybrid():
+    return simulate(env_config("knn", "env-50/50", scale=SCALE))
+
+
+def test_every_job_processed_once(knn_hybrid):
+    assert knn_hybrid.total_jobs == 960
+
+
+def test_accounting_invariants(knn_hybrid):
+    report = knn_hybrid
+    report.validate()
+    for cluster in report.clusters.values():
+        assert cluster.total == pytest.approx(report.makespan, rel=1e-9)
+        assert cluster.mean_processing > 0
+        assert cluster.mean_retrieval > 0
+        assert cluster.sync >= 0
+        assert cluster.processing_end <= cluster.combine_done <= cluster.robj_arrival
+    assert report.global_reduction >= 0
+
+
+def test_simulation_deterministic():
+    a = simulate(env_config("knn", "env-33/67", scale=SCALE))
+    b = simulate(env_config("knn", "env-33/67", scale=SCALE))
+    assert a.makespan == b.makespan
+    assert a.events_processed == b.events_processed
+    assert {n: c.jobs_processed for n, c in a.clusters.items()} == {
+        n: c.jobs_processed for n, c in b.clusters.items()
+    }
+
+
+def test_seed_changes_outcome_slightly():
+    a = simulate(env_config("knn", "env-33/67", scale=SCALE, seed=1))
+    b = simulate(env_config("knn", "env-33/67", scale=SCALE, seed=2))
+    assert a.makespan != b.makespan
+    # But not wildly: same configuration, same resources.
+    assert abs(a.makespan - b.makespan) / a.makespan < 0.2
+
+
+def test_single_cluster_baselines_have_no_idle_or_transfer():
+    local = simulate(env_config("knn", "env-local", scale=SCALE))
+    assert set(local.clusters) == {"local-cluster"}
+    cluster = local.cluster("local-cluster")
+    assert cluster.idle == 0.0
+    assert cluster.jobs_stolen == 0
+    # Single-cluster global reduction is merge-only (no WAN push).
+    assert local.global_reduction < 0.1
+
+    cloud = simulate(env_config("knn", "env-cloud", scale=SCALE))
+    assert set(cloud.clusters) == {"cloud-cluster"}
+    assert cloud.cluster("cloud-cluster").jobs_stolen == 0
+
+
+def test_stealing_grows_with_skew():
+    stolen = {}
+    for env in ("env-50/50", "env-33/67", "env-17/83"):
+        report = simulate(env_config("knn", env, scale=SCALE))
+        local = report.cluster("local-cluster")
+        stolen[env] = local.jobs_stolen
+    assert stolen["env-50/50"] <= stolen["env-33/67"] <= stolen["env-17/83"]
+    assert stolen["env-17/83"] > 0
+
+
+def test_cloud_cluster_never_counts_local_steals_in_hybrid():
+    """In hybrid knn runs the cloud side has ample S3 data of its own."""
+    report = simulate(env_config("knn", "env-17/83", scale=SCALE))
+    assert report.cluster("cloud-cluster").jobs_stolen == 0
+
+
+def test_pagerank_global_reduction_dominated_by_robj_transfer():
+    knn = simulate(env_config("knn", "env-50/50", scale=SCALE))
+    pagerank = simulate(env_config("pagerank", "env-50/50", scale=SCALE))
+    assert pagerank.global_reduction > 100 * knn.global_reduction
+    # ~300 MB at the WAN per-flow rate: tens of seconds.
+    assert 10.0 < pagerank.global_reduction < 120.0
+
+
+def test_unassigned_jobs_detected():
+    config = env_config("knn", "env-local", scale=SCALE)
+    sim = CloudBurstSimulation(config)
+    # Sanity: a full run assigns everything (no exception).
+    report = sim.run()
+    assert report.total_jobs == 960
+
+
+def test_scalability_monotone():
+    prev = None
+    for name, config in figure4_configs("kmeans", scale=SCALE).items():
+        report = simulate(config)
+        if prev is not None:
+            assert report.makespan < prev
+        prev = report.makespan
+
+
+def test_ec2_variability_increases_spread():
+    calm = PAPER_CALIBRATION.with_changes(
+        cloud_variability=PAPER_CALIBRATION.local_variability
+    )
+    jittery = PAPER_CALIBRATION
+    config = env_config("kmeans", "env-cloud", scale=SCALE)
+    calm_report = simulate(config, calm)
+    jittery_report = simulate(config, jittery)
+    # More per-job variance -> larger end-of-run barrier (sync).
+    assert (
+        jittery_report.cluster("cloud-cluster").sync
+        >= calm_report.cluster("cloud-cluster").sync
+    )

@@ -1,0 +1,81 @@
+"""Tests for runtime telemetry and the exception hierarchy."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.errors as errors
+from repro.runtime.telemetry import (
+    ClusterTelemetry,
+    RunTelemetry,
+    SlaveTelemetry,
+    Stopwatch,
+)
+
+
+def test_stopwatch_accumulates():
+    watch = Stopwatch()
+    with watch:
+        time.sleep(0.01)
+    first = watch.total
+    assert first >= 0.009
+    with watch:
+        time.sleep(0.01)
+    assert watch.total > first
+
+
+def test_cluster_aggregate_means():
+    slaves = []
+    for i, (proc, retr, jobs) in enumerate([(1.0, 2.0, 3), (3.0, 4.0, 5)]):
+        s = SlaveTelemetry(slave_id=i, cluster="c")
+        s.processing.total = proc
+        s.retrieval.total = retr
+        s.jobs = jobs
+        slaves.append(s)
+    agg = ClusterTelemetry.aggregate("c", "local", slaves, stolen=2)
+    assert agg.jobs == 8
+    assert agg.stolen == 2
+    assert agg.slaves == 2
+    assert agg.mean_processing == pytest.approx(2.0)
+    assert agg.mean_retrieval == pytest.approx(3.0)
+
+
+def test_cluster_aggregate_empty_crew():
+    agg = ClusterTelemetry.aggregate("c", "local", [], stolen=0)
+    assert agg.jobs == 0
+    assert agg.mean_processing == 0.0
+
+
+def test_run_telemetry_totals():
+    run = RunTelemetry(wall_seconds=1.5)
+    run.clusters["a"] = ClusterTelemetry("a", "local", 2, 10, 3, 0.1, 0.2)
+    run.clusters["b"] = ClusterTelemetry("b", "cloud", 2, 6, 0, 0.1, 0.2)
+    assert run.total_jobs == 16
+    assert run.total_stolen == 3
+    assert run.slaves_failed == 0
+
+
+# -- exception hierarchy ------------------------------------------------------
+
+
+def test_every_error_is_a_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is errors.ReproError:
+                continue
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_object_not_found_carries_key():
+    exc = errors.ObjectNotFoundError("some/key")
+    assert exc.key == "some/key"
+    assert "some/key" in str(exc)
+    assert isinstance(exc, errors.StorageError)
+
+
+def test_worker_failure_is_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.WorkerFailure("node down")

@@ -1,0 +1,131 @@
+"""Tests for simulator tracing and the timeline analyses built on it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import env_config
+from repro.errors import SimulationError
+from repro.sim.simulation import CloudBurstSimulation
+from repro.sim.trace import (
+    TraceRecorder,
+    render_gantt,
+    utilization,
+    worker_intervals,
+)
+
+SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    trace = TraceRecorder()
+    config = env_config("knn", "env-50/50", scale=SCALE)
+    report = CloudBurstSimulation(config, trace=trace).run()
+    return trace, report
+
+
+def test_trace_event_counts(traced_run):
+    trace, report = traced_run
+    # One fetch and one compute interval per processed job.
+    assert len(trace.of_kind("fetch_start")) == 960
+    assert len(trace.of_kind("fetch_end")) == 960
+    assert len(trace.of_kind("compute_start")) == 960
+    assert len(trace.of_kind("job_done")) == 960
+    # Two clusters combine, ship, and get merged.
+    assert len(trace.of_kind("combine_done")) == 2
+    assert len(trace.of_kind("robj_sent")) == 2
+    assert len(trace.of_kind("merge_done")) == 2
+    # Group assignments equal head exchanges that returned work.
+    assigned = trace.of_kind("group_assigned")
+    assert sum(int(e.detail.split("x")[1]) for e in assigned) == 960
+    # Every assigned group is eventually acknowledged.
+    assert len(trace.of_kind("group_acked")) == len(assigned)
+
+
+def test_trace_times_ordered_and_within_makespan(traced_run):
+    trace, report = traced_run
+    times = [e.time for e in trace.events]
+    assert all(t >= 0 for t in times)
+    assert max(times) <= report.makespan + 1e-6
+
+
+def test_worker_intervals_alternate_and_nest(traced_run):
+    trace, report = traced_run
+    workers = trace.workers()
+    assert len(workers) == 32  # 16 + 16 cores
+    for worker in workers[:4]:
+        intervals = worker_intervals(trace, worker)
+        assert intervals, f"worker {worker} did nothing"
+        # Intervals are disjoint and ordered; activities alternate r, P, r, P...
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.end <= b.start + 1e-9
+        assert [iv.activity for iv in intervals[:2]] == ["retrieval", "processing"]
+
+
+def test_utilization_sums_to_one(traced_run):
+    trace, report = traced_run
+    util = utilization(trace, report.makespan)
+    assert set(util) == set(trace.workers())
+    for worker, parts in util.items():
+        total = parts["retrieval"] + parts["processing"] + parts["idle"]
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert parts["retrieval"] > 0 and parts["processing"] > 0
+    # knn: retrieval dominates processing for every worker.
+    assert all(p["retrieval"] > p["processing"] for p in util.values())
+
+
+def test_utilization_matches_report_means(traced_run):
+    trace, report = traced_run
+    util = utilization(trace, report.makespan)
+    # Cross-check: mean worker processing fraction x makespan equals the
+    # report's per-cluster mean processing (averaged over both clusters).
+    mean_proc_trace = (
+        sum(p["processing"] for p in util.values()) / len(util) * report.makespan
+    )
+    mean_proc_report = sum(
+        c.mean_processing * c.cores for c in report.clusters.values()
+    ) / sum(c.cores for c in report.clusters.values())
+    assert mean_proc_trace == pytest.approx(mean_proc_report, rel=1e-6)
+
+
+def test_render_gantt(traced_run):
+    trace, report = traced_run
+    chart = render_gantt(trace, report.makespan, width=40)
+    lines = chart.splitlines()
+    assert len(lines) == 1 + 32
+    assert "r" in chart and "P" in chart
+    for line in lines[1:]:
+        assert len(line) == len("w000 |") + 40 + 1
+
+
+def test_trace_validation():
+    trace = TraceRecorder()
+    with pytest.raises(SimulationError):
+        trace.record(0.0, "not-a-kind")
+    # Malformed interval streams are rejected.
+    bad = TraceRecorder()
+    bad.record(1.0, "fetch_end", worker=0)
+    with pytest.raises(SimulationError, match="without a start"):
+        worker_intervals(bad, 0)
+    bad2 = TraceRecorder()
+    bad2.record(0.0, "fetch_start", worker=0)
+    bad2.record(1.0, "compute_start", worker=0)
+    with pytest.raises(SimulationError, match="still open"):
+        worker_intervals(bad2, 0)
+    bad3 = TraceRecorder()
+    bad3.record(0.0, "fetch_start", worker=0)
+    with pytest.raises(SimulationError, match="mid-retrieval"):
+        worker_intervals(bad3, 0)
+    with pytest.raises(SimulationError):
+        utilization(TraceRecorder(), 0.0)
+    with pytest.raises(SimulationError):
+        render_gantt(TraceRecorder(), 1.0, width=0)
+
+
+def test_disabled_trace_changes_nothing():
+    config = env_config("knn", "env-50/50", scale=SCALE)
+    plain = CloudBurstSimulation(config).run()
+    traced = CloudBurstSimulation(config, trace=TraceRecorder()).run()
+    assert plain.makespan == traced.makespan
+    assert plain.events_processed == traced.events_processed
