@@ -103,11 +103,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cloud-cores", type=int, default=2)
 
     p = sub.add_parser(
-        "trace", help="simulate one configuration and render a Gantt chart"
+        "trace",
+        help="trace a run (simulated, or real with --runtime) and render "
+        "a Gantt chart",
     )
     p.add_argument("app")
-    p.add_argument("env", choices=ENV_NAMES)
+    p.add_argument("env", nargs="?", choices=ENV_NAMES,
+                   help="simulator environment (omit with --runtime)")
+    p.add_argument("--runtime", action="store_true",
+                   help="trace a real CloudBurstingRuntime run instead of "
+                   "the simulator")
+    p.add_argument("--units", type=int, default=2048,
+                   help="data units for the --runtime dataset")
+    p.add_argument("--local-cores", type=int, default=2)
+    p.add_argument("--cloud-cores", type=int, default=2)
+    p.add_argument("--local-fraction", type=float, default=0.5,
+                   help="fraction of --runtime data stored locally")
     p.add_argument("--width", type=int, default=72)
+    p.add_argument("--out", metavar="TRACE.jsonl",
+                   help="also write the event stream as JSONL")
+    p.add_argument("--perfetto", metavar="TRACE.json",
+                   help="also write a Perfetto/Chrome trace_event file")
+
+    p = sub.add_parser(
+        "report", help="render the run report from a JSONL trace file"
+    )
+    p.add_argument("trace", help="JSONL file written by `trace --out`")
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--perfetto", metavar="TRACE.json",
+                   help="also convert the trace to Perfetto JSON")
 
     p = sub.add_parser(
         "multisite", help="simulate an N-site experiment from a JSON config"
@@ -303,11 +327,31 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(f"{name}: {cluster.jobs} jobs ({cluster.stolen} stolen)")
 
 
-def _cmd_trace(args: argparse.Namespace) -> None:
-    from .sim.simulation import CloudBurstSimulation
-    from .sim.trace import TraceRecorder, render_gantt, utilization
+def _export_trace(trace, args: argparse.Namespace) -> None:
+    from .obs import write_jsonl, write_perfetto
 
-    trace = TraceRecorder()
+    if getattr(args, "out", None):
+        count = write_jsonl(trace, args.out)
+        print(f"\nwrote {count} events to {args.out}")
+    if getattr(args, "perfetto", None):
+        count = write_perfetto(trace, args.perfetto)
+        print(f"\nwrote {count} trace events to {args.perfetto} "
+              f"(open in https://ui.perfetto.dev)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from .obs import EventLog, render_gantt, utilization
+
+    if args.runtime:
+        _trace_runtime(args)
+        return
+    if args.env is None:
+        raise ConfigurationError(
+            "trace needs an environment (or --runtime for a real run)"
+        )
+    from .sim.simulation import CloudBurstSimulation
+
+    trace = EventLog()
     config = env_config(args.app, args.env, scale=args.scale, seed=args.seed)
     report = CloudBurstSimulation(config, trace=trace).run()
     print(f"{config.describe()}\nmakespan {fmt_seconds(report.makespan)} s, "
@@ -316,6 +360,64 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     util = utilization(trace, report.makespan)
     mean_idle = sum(u["idle"] for u in util.values()) / len(util)
     print(f"\nmean worker idle fraction: {mean_idle * 100:.1f}%")
+    _export_trace(trace, args)
+
+
+def _trace_runtime(args: argparse.Namespace) -> None:
+    from .apps import make_bundle
+    from .config import (
+        CLOUD_SITE,
+        ComputeSpec,
+        DatasetSpec,
+        LOCAL_SITE,
+        PlacementSpec,
+    )
+    from .data.dataset import build_dataset
+    from .obs import EventLog, MetricsRegistry, render_report
+    from .runtime.driver import CloudBurstingRuntime
+    from .storage.objectstore import ObjectStore
+
+    files, chunks_per_file = 4, 4
+    chunks = files * chunks_per_file
+    if args.units % chunks != 0:
+        raise ConfigurationError(f"--units must be divisible by {chunks}")
+    bundle = make_bundle(args.app, args.units, seed=args.seed)
+    rb = bundle.schema.record_bytes
+    spec = DatasetSpec(
+        total_bytes=args.units * rb,
+        num_files=files,
+        chunk_bytes=(args.units // chunks) * rb,
+        record_bytes=rb,
+    )
+    stores = {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+    index = build_dataset(
+        spec, PlacementSpec(args.local_fraction), bundle.schema,
+        bundle.block_fn, stores,
+    )
+    trace = EventLog()
+    runtime = CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=args.local_cores, cloud_cores=args.cloud_cores),
+        trace=trace, metrics=MetricsRegistry(), seed=args.seed,
+    )
+    result = runtime.run()
+    print(f"{args.app} (real runtime, {args.units} units, "
+          f"{args.local_cores}+{args.cloud_cores} cores): "
+          f"wall {result.telemetry.wall_seconds:.3f}s, "
+          f"{result.telemetry.total_stolen} jobs stolen\n")
+    print(render_report(trace, width=args.width))
+    _export_trace(trace, args)
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from .obs import read_jsonl, render_report, write_perfetto
+
+    trace = read_jsonl(args.trace)
+    print(render_report(trace, width=args.width))
+    if args.perfetto:
+        count = write_perfetto(trace, args.perfetto)
+        print(f"\nwrote {count} trace events to {args.perfetto} "
+              f"(open in https://ui.perfetto.dev)")
 
 
 def _cmd_multisite(args: argparse.Namespace) -> None:
@@ -400,6 +502,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "report": _cmd_report,
     "multisite": _cmd_multisite,
     "sweep": _cmd_sweep,
     "stealing": _cmd_stealing,

@@ -60,8 +60,15 @@ class HeadScheduler:
         tuning: MiddlewareTuning | None = None,
         *,
         seed: int = 2011,
+        trace=None,
     ) -> None:
         self.tuning = tuning or MiddlewareTuning()
+        #: Optional :class:`repro.obs.events.EventLog`. The executable
+        #: runtime passes its log so steal decisions land on the timeline;
+        #: the simulator leaves this ``None`` (wall-clock stamps would be
+        #: meaningless in simulated time — SimMaster records assignment
+        #: events itself at ``env.now``).
+        self.trace = trace
         self._rng = random.Random(seed)
         # Pending jobs per file, ordered by chunk index so consecutive
         # assignment is a prefix pop.
@@ -146,6 +153,12 @@ class HeadScheduler:
         stats.files_touched.add(file_id)
         if stolen:
             stats.jobs_stolen += len(jobs)
+            if self.trace is not None:
+                self.trace.emit(
+                    "steal", cluster=cluster, file_id=file_id,
+                    detail=f"group {group.group_id} x{len(jobs)} "
+                    f"({self._readers[file_id] - 1} other readers)",
+                )
         self._assigned_jobs += len(jobs)
         return group
 

@@ -19,6 +19,7 @@ from ..config import CLOUD_SITE, LOCAL_SITE, DatasetSpec, PlacementSpec
 from ..core.index import DataIndex, FileEntry
 from ..core.job import Job
 from ..errors import DataFormatError
+from ..obs.events import EventLog
 from ..storage.base import StorageService
 from ..storage.retrieval import ChunkRetriever
 from .records import RecordSchema
@@ -100,11 +101,16 @@ class DatasetReader:
     ``retrieval_threads`` only applies to remote (cross-site) fetches —
     local reads are single sequential ``pread``-style calls, matching the
     paper's "continuous read operation" for local jobs.
+
+    ``trace`` is an optional :class:`repro.obs.events.EventLog`; when set,
+    every cross-site fetch lands on the timeline as a ``remote_fetch``
+    event (the data-movement cost the paper's scheduler tries to avoid).
     """
 
     index: DataIndex
     stores: Mapping[str, StorageService]
     retrieval_threads: int = 4
+    trace: EventLog | None = None
 
     def read_job(self, job: Job, *, from_site: str | None = None) -> bytes:
         """Fetch the chunk for ``job``.
@@ -117,6 +123,11 @@ class DatasetReader:
         if store is None:
             raise DataFormatError(f"no storage service for site {entry.site!r}")
         remote = from_site is not None and from_site != entry.site
+        if remote and self.trace is not None:
+            self.trace.emit(
+                "remote_fetch", job_id=job.job_id, file_id=job.file_id,
+                detail=f"{from_site}<-{entry.site} {job.nbytes}B",
+            )
         if remote and self.retrieval_threads > 1:
             retriever = ChunkRetriever(store, threads=self.retrieval_threads)
             return retriever.fetch(entry.path, job.offset, job.nbytes)

@@ -53,6 +53,14 @@ class RuntimeProtocolError(ReproError):
     """A runtime component received a message that violates the protocol."""
 
 
+class RuntimeTimeoutError(RuntimeProtocolError):
+    """A runtime component did not finish within its join timeout.
+
+    Raised by the driver with a message naming the timeout and which
+    masters/slaves were still alive — a hung run should say who hung.
+    """
+
+
 class WorkerFailure(ReproError):
     """A slave worker 'crashed' (raised by fault-injection hooks).
 
@@ -72,3 +80,16 @@ class SimulationError(ReproError):
 
 class CalibrationError(SimulationError):
     """A calibration parameter set is missing or invalid."""
+
+
+class TraceError(SimulationError):
+    """A trace event stream is malformed or an analysis was misused.
+
+    Shared by both substrates; subclasses :class:`SimulationError` because
+    the trace toolkit grew out of the simulator and existing callers catch
+    that type.
+    """
+
+
+class ObservabilityError(ReproError):
+    """A metrics instrument was registered or used inconsistently."""

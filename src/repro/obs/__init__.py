@@ -1,0 +1,49 @@
+"""Unified observability layer shared by the simulator and the runtime.
+
+One event vocabulary, one analysis toolkit, one set of exporters — so a
+simulated run and a real :class:`~repro.runtime.driver.CloudBurstingRuntime`
+run render identically (Gantt charts, utilization tables, Perfetto
+timelines). See ``docs/OBSERVABILITY.md`` for the event schema and the
+export formats.
+"""
+
+from .analysis import Interval, render_gantt, utilization, worker_intervals
+from .events import KINDS, RUNTIME_KINDS, SIM_KINDS, EventLog, TraceEvent
+from .export import (
+    event_to_dict,
+    read_jsonl,
+    render_report,
+    to_perfetto,
+    write_jsonl,
+    write_perfetto,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "KINDS",
+    "SIM_KINDS",
+    "RUNTIME_KINDS",
+    "TraceEvent",
+    "EventLog",
+    "Interval",
+    "worker_intervals",
+    "utilization",
+    "render_gantt",
+    "event_to_dict",
+    "write_jsonl",
+    "read_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+    "render_report",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

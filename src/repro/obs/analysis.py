@@ -1,0 +1,162 @@
+"""Timeline analyses over an event stream.
+
+These reconstruct the paper's per-worker decomposition from any
+:class:`~repro.obs.events.EventLog` — simulated or real:
+
+* :func:`worker_intervals` — per-worker busy intervals by activity;
+* :func:`utilization` — fraction of the makespan each worker spent
+  retrieving vs computing vs idle (the per-worker version of Figure 3's
+  decomposition);
+* :func:`render_gantt` — a text Gantt chart of the run, one row per
+  worker ('r' = retrieval, 'P' = processing, '.' = idle).
+
+Events are sorted by timestamp before pairing: the threaded runtime
+appends to the shared log in wall-clock order per worker but a stream
+read back from disk (or merged from several logs) need not be ordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TraceError
+from .events import EventLog
+
+__all__ = ["Interval", "worker_intervals", "utilization", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A worker activity interval."""
+
+    start: float
+    end: float
+    activity: str  # 'retrieval' | 'processing'
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+_PAIRS = {
+    "fetch_start": ("fetch_end", "retrieval"),
+    "compute_start": ("compute_end", "processing"),
+}
+_END_FOR = {"retrieval": "fetch_end", "processing": "compute_end"}
+
+
+def _ordered(events, worker):
+    """Sort a worker's events by time, resolving equal-timestamp ties.
+
+    Within one instant a realizable schedule puts the end that closes the
+    currently open interval first, then any zero-width start/end pairs,
+    then the start left open past the instant. Events a tie group cannot
+    place (an end with nothing open, a start while one is open) are kept
+    in recorded order so the pairing scan reports them.
+    """
+    events = sorted(events, key=lambda e: e.time)
+    out = []
+    open_activity = None
+    i = 0
+    while i < len(events):
+        j = i
+        while j < len(events) and events[j].time == events[i].time:
+            j += 1
+        group = events[i:j]
+        while group:
+            if open_activity is not None:
+                want = _END_FOR[open_activity]
+                k = next((n for n, e in enumerate(group) if e.kind == want), None)
+                if k is None:
+                    break
+                out.append(group.pop(k))
+                open_activity = None
+            else:
+                k = next((n for n, e in enumerate(group) if e.kind in _PAIRS), None)
+                if k is None:
+                    break
+                event = group.pop(k)
+                out.append(event)
+                open_activity = _PAIRS[event.kind][1]
+        out.extend(group)
+        i = j
+    return out
+
+
+def worker_intervals(trace: EventLog, worker: int) -> list[Interval]:
+    """Reconstruct a worker's busy intervals from its start/end events.
+
+    Events are sorted by timestamp first (see :func:`_ordered`): the
+    threaded runtime appends to the shared log in per-worker wall-clock
+    order, but a stream read back from disk or merged from several logs
+    need not arrive ordered. Raises :class:`TraceError` on malformed
+    traces (an end without a start, or overlapping activities) — these
+    checks double as an internal consistency check on both substrates'
+    slave loops.
+    """
+    intervals: list[Interval] = []
+    open_start: tuple[float, str] | None = None
+    for event in _ordered(trace.for_worker(worker), worker):
+        if event.kind in _PAIRS:
+            if open_start is not None:
+                raise TraceError(
+                    f"worker {worker}: {event.kind} at {event.time} while "
+                    f"{open_start[1]} still open"
+                )
+            open_start = (event.time, _PAIRS[event.kind][1])
+        elif event.kind in ("fetch_end", "compute_end"):
+            if open_start is None:
+                raise TraceError(
+                    f"worker {worker}: {event.kind} without a start"
+                )
+            start, activity = open_start
+            expected_end = "fetch_end" if activity == "retrieval" else "compute_end"
+            if event.kind != expected_end:
+                raise TraceError(
+                    f"worker {worker}: {event.kind} closes a {activity} interval"
+                )
+            intervals.append(Interval(start=start, end=event.time, activity=activity))
+            open_start = None
+    if open_start is not None:
+        raise TraceError(f"worker {worker}: trace ends mid-{open_start[1]}")
+    return intervals
+
+
+def utilization(trace: EventLog, makespan: float) -> dict[int, dict[str, float]]:
+    """Per-worker time fractions: retrieval / processing / idle."""
+    if makespan <= 0:
+        raise TraceError("makespan must be positive")
+    out: dict[int, dict[str, float]] = {}
+    for worker in trace.workers():
+        totals = {"retrieval": 0.0, "processing": 0.0}
+        for interval in worker_intervals(trace, worker):
+            totals[interval.activity] += interval.duration
+        busy = totals["retrieval"] + totals["processing"]
+        out[worker] = {
+            "retrieval": totals["retrieval"] / makespan,
+            "processing": totals["processing"] / makespan,
+            "idle": max(0.0, 1.0 - busy / makespan),
+        }
+    return out
+
+
+def render_gantt(
+    trace: EventLog, makespan: float, *, width: int = 72
+) -> str:
+    """Text Gantt chart: one row per worker, time left to right."""
+    if width <= 0:
+        raise TraceError("width must be positive")
+    if makespan <= 0:
+        raise TraceError("makespan must be positive")
+    glyph = {"retrieval": "r", "processing": "P"}
+    rows = []
+    for worker in trace.workers():
+        cells = ["."] * width
+        for interval in worker_intervals(trace, worker):
+            lo = min(width - 1, int(interval.start / makespan * width))
+            hi = min(width, max(lo + 1, int(interval.end / makespan * width)))
+            for i in range(lo, hi):
+                cells[i] = glyph[interval.activity]
+        rows.append(f"w{worker:03d} |{''.join(cells)}|")
+    header = f"time 0 .. {makespan:.1f}s ({'r'}=retrieval, {'P'}=processing)"
+    return header + "\n" + "\n".join(rows)

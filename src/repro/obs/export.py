@@ -1,0 +1,248 @@
+"""Trace exporters: JSONL, Chrome/Perfetto ``trace_event`` JSON, text report.
+
+Three consumers of the shared event stream:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — one event per line; the
+  archival format (`repro report` reads it back, so a trace captured on
+  one machine can be analysed on another);
+* :func:`to_perfetto` / :func:`write_perfetto` — the Chrome
+  ``trace_event`` format (the "JSON Array Format" with thread metadata),
+  loadable in https://ui.perfetto.dev or ``chrome://tracing``. One track
+  per worker, one per cluster master, one for the head node;
+* :func:`render_report` — the plain-text run report (Gantt + utilization
+  table + event summary) used by ``repro trace`` and ``repro report``,
+  identical for simulated and real runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TraceError
+from .analysis import render_gantt, utilization, worker_intervals
+from .events import KINDS, EventLog, TraceEvent
+
+__all__ = [
+    "event_to_dict",
+    "write_jsonl",
+    "read_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+    "render_report",
+]
+
+_DEFAULTS = TraceEvent(time=0.0, kind="job_done")
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """Compact plain-data form: default-valued fields are omitted."""
+    out = {"time": event.time, "kind": event.kind}
+    for name in ("cluster", "worker", "job_id", "file_id", "detail"):
+        value = getattr(event, name)
+        if value != getattr(_DEFAULTS, name):
+            out[name] = value
+    return out
+
+
+def write_jsonl(log: EventLog, path: str | Path) -> int:
+    """Write one event per line; returns the number of events written."""
+    events = log.snapshot()
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True))
+            fh.write("\n")
+    return len(events)
+
+
+def read_jsonl(path: str | Path) -> EventLog:
+    """Load a JSONL trace back into an :class:`EventLog`."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                event = TraceEvent(**doc)
+            except (json.JSONDecodeError, TypeError) as exc:
+                raise TraceError(f"{path}:{lineno}: bad trace line: {exc}") from exc
+            if event.kind not in KINDS:
+                raise TraceError(
+                    f"{path}:{lineno}: unknown event kind {event.kind!r}"
+                )
+            events.append(event)
+    return EventLog(events)
+
+
+# -- Perfetto ---------------------------------------------------------------
+
+#: Instant events hosted on the head node's track.
+_HEAD_KINDS = ("group_acked", "merge_done")
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def _thread_meta(pid: int, tid: int, name: str, sort_index: int) -> list[dict]:
+    return [
+        {
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": name},
+        },
+        {
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
+            "args": {"sort_index": sort_index},
+        },
+    ]
+
+
+def to_perfetto(log: EventLog, *, process_name: str = "repro-run") -> dict:
+    """Convert a trace to a Chrome ``trace_event`` document (a dict).
+
+    Track layout: tid 0 is the head node, one tid per cluster master, one
+    tid per worker. Paired ``fetch``/``compute`` events become complete
+    ('X') slices named ``retrieval``/``processing``; everything else
+    becomes an instant ('i') event on its owner's track.
+    """
+    events = log.snapshot()
+    snapshot = EventLog(events)
+    pid = 1
+    trace_events: list[dict] = [
+        {
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": process_name},
+        },
+        *_thread_meta(pid, 0, "head", 0),
+    ]
+
+    clusters = sorted({e.cluster for e in events if e.cluster})
+    master_tid = {name: 1 + i for i, name in enumerate(clusters)}
+    for name, tid in master_tid.items():
+        trace_events.extend(_thread_meta(pid, tid, f"master:{name}", tid))
+
+    worker_tid: dict[int, int] = {}
+    base = 1 + len(clusters)
+    for i, worker in enumerate(snapshot.workers()):
+        tid = base + i
+        worker_tid[worker] = tid
+        cluster = next(
+            (e.cluster for e in events if e.worker == worker and e.cluster), ""
+        )
+        label = f"w{worker:03d}" + (f" ({cluster})" if cluster else "")
+        trace_events.extend(_thread_meta(pid, tid, label, tid))
+
+    # Complete slices: pair each worker's start/end events, keeping job ids.
+    pairs = {
+        "fetch_start": ("fetch_end", "retrieval"),
+        "compute_start": ("compute_end", "processing"),
+    }
+    for worker in snapshot.workers():
+        worker_intervals(snapshot, worker)  # validates pairing/overlap
+        open_event: TraceEvent | None = None
+        for event in sorted(snapshot.for_worker(worker), key=lambda e: e.time):
+            if event.kind in pairs:
+                open_event = event
+            elif event.kind in ("fetch_end", "compute_end"):
+                assert open_event is not None  # worker_intervals validated
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "pid": pid,
+                        "tid": worker_tid[worker],
+                        "ts": open_event.time * _US,
+                        "dur": (event.time - open_event.time) * _US,
+                        "name": pairs[open_event.kind][1],
+                        "cat": "worker",
+                        "args": {
+                            "job_id": event.job_id,
+                            "file_id": event.file_id,
+                        },
+                    }
+                )
+                open_event = None
+
+    # Instant events on the owning track.
+    for event in events:
+        if event.kind in pairs or event.kind in ("fetch_end", "compute_end"):
+            continue
+        if event.worker >= 0 and event.kind not in _HEAD_KINDS:
+            tid = worker_tid[event.worker]
+            scope = "t"
+        elif event.cluster and event.kind not in _HEAD_KINDS:
+            tid = master_tid[event.cluster]
+            scope = "t"
+        else:
+            tid = 0
+            scope = "p"
+        args = {
+            name: getattr(event, name)
+            for name in ("cluster", "worker", "job_id", "file_id", "detail")
+            if getattr(event, name) != getattr(_DEFAULTS, name)
+        }
+        trace_events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": tid,
+                "ts": event.time * _US,
+                "s": scope,
+                "name": event.kind,
+                "cat": "middleware",
+                "args": args,
+            }
+        )
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(
+    log: EventLog, path: str | Path, *, process_name: str = "repro-run"
+) -> int:
+    """Write the Perfetto JSON document; returns the trace-event count."""
+    doc = to_perfetto(log, process_name=process_name)
+    Path(path).write_text(json.dumps(doc), encoding="utf-8")
+    return len(doc["traceEvents"])
+
+
+# -- text report ------------------------------------------------------------
+
+
+def render_report(
+    log: EventLog, makespan: float | None = None, *, width: int = 72
+) -> str:
+    """The plain-text run report: summary, Gantt chart, utilization table.
+
+    ``makespan`` defaults to the last event's timestamp, which is right
+    for a trace read back from disk; pass the simulator's reported
+    makespan when you have it.
+    """
+    if makespan is None:
+        makespan = log.makespan()
+    if makespan <= 0 or not len(log):
+        raise TraceError("cannot report on an empty trace")
+
+    counts: dict[str, int] = {}
+    for event in log.snapshot():
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    summary = "  ".join(f"{kind}={counts[kind]}" for kind in KINDS if kind in counts)
+
+    lines = [
+        f"{len(log)} events over {makespan:.3f}s "
+        f"({len(log.workers())} workers)",
+        summary,
+        "",
+        render_gantt(log, makespan, width=width),
+        "",
+        "worker  retrieval  processing   idle",
+    ]
+    util = utilization(log, makespan)
+    for worker, parts in util.items():
+        lines.append(
+            f"w{worker:03d}    {parts['retrieval'] * 100:7.1f}%  "
+            f"{parts['processing'] * 100:8.1f}%  {parts['idle'] * 100:5.1f}%"
+        )
+    if util:
+        mean_idle = sum(p["idle"] for p in util.values()) / len(util)
+        lines.append(f"mean worker idle fraction: {mean_idle * 100:.1f}%")
+    return "\n".join(lines)

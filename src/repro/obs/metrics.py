@@ -1,0 +1,183 @@
+"""A small thread-safe metrics registry for the executable runtime.
+
+Three instrument types, in the Prometheus spirit but in-process only:
+
+* :class:`Counter` — a monotonically increasing count (jobs done, steals);
+* :class:`Gauge` — a point-in-time value (worker count, pool depth);
+* :class:`Histogram` — fixed-bucket latency distribution (fetch/compute
+  seconds per job).
+
+A :class:`MetricsRegistry` hands out instruments by name (get-or-create,
+so every slave thread shares one ``fetch_seconds`` histogram) and
+:meth:`~MetricsRegistry.snapshot` renders the whole registry to plain
+data — the driver stores that snapshot on
+:class:`~repro.runtime.telemetry.RunTelemetry` so metrics persist through
+``RunTelemetry.to_json`` alongside the stopwatch aggregates.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Upper bounds (seconds) for latency histograms; a final +inf bucket is
+#: implicit. Spans sub-millisecond in-memory reads to WAN-scale stalls.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """Monotonic counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ObservabilityError(f"counter {self.name!r}: negative increment")
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += float(delta)
+
+
+class Histogram:
+    """Fixed-bucket histogram; bucket ``i`` counts values <= ``buckets[i]``,
+    with one extra overflow bucket at the end."""
+
+    def __init__(self, name: str, buckets: tuple[float, ...]) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ObservabilityError(
+                f"histogram {name!r}: buckets must be a non-empty ascending "
+                "sequence"
+            )
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.total += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (returns the bucket's upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return float("inf")
+        return float("inf")  # pragma: no cover - rank <= count always hits
+
+
+class MetricsRegistry:
+    """Named instruments, shared across threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not own and name in table:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            self._check_free(name, self._counters)
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            self._check_free(name, self._gauges)
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            self._check_free(name, self._histograms)
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, buckets)
+            elif self._histograms[name].buckets != tuple(
+                float(b) for b in buckets
+            ):
+                raise ObservabilityError(
+                    f"histogram {name!r} re-registered with different buckets"
+                )
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (JSON-serializable)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: {
+                        "buckets": list(h.buckets),
+                        "counts": list(h.counts),
+                        "sum": h.total,
+                        "count": h.count,
+                        "mean": h.mean,
+                    }
+                    for n, h in sorted(self._histograms.items())
+                },
+            }

@@ -25,7 +25,9 @@ from ..core.index import DataIndex
 from ..core.reduction import from_bytes
 from ..core.scheduler import HeadScheduler
 from ..data.dataset import DatasetReader
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, RuntimeTimeoutError
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
 from ..storage.base import StorageService
 from .head import HeadNode
 from .master import MasterNode
@@ -57,9 +59,14 @@ class CloudBurstingRuntime:
         tuning: MiddlewareTuning | None = None,
         seed: int = 2011,
         fault_hook=None,
+        trace: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
+        join_timeout: float = 600.0,
     ) -> None:
         if compute.total_cores <= 0:
             raise ConfigurationError("need at least one core")
+        if join_timeout <= 0:
+            raise ConfigurationError("join_timeout must be positive")
         self.app = app
         self.index = index
         self.stores = stores
@@ -67,18 +74,32 @@ class CloudBurstingRuntime:
         self.tuning = tuning or MiddlewareTuning()
         self.seed = seed
         self.fault_hook = fault_hook
+        #: Optional observability hooks: a shared event log every node
+        #: emits into, and a metrics registry the slaves feed. Both are
+        #: off (``None``) by default and cost nothing when disabled.
+        self.trace = trace
+        self.metrics = metrics
+        self.join_timeout = join_timeout
 
     def run(self) -> RuntimeResult:
         started = time.perf_counter()
-        scheduler = HeadScheduler(self.index.jobs(), self.tuning, seed=self.seed)
+        trace = self.trace
+        if trace is not None:
+            trace.start()  # idempotent: iterative passes share one origin
+        scheduler = HeadScheduler(
+            self.index.jobs(), self.tuning, seed=self.seed, trace=trace
+        )
         sites = self.compute.active_sites
         cluster_names = [f"{site}-cluster" for site in sites]
         for name, site in zip(cluster_names, sites):
             scheduler.register_cluster(name, site)
 
-        head = HeadNode(scheduler, cluster_names)
+        head = HeadNode(scheduler, cluster_names, trace=trace)
         reader = DatasetReader(
-            self.index, self.stores, retrieval_threads=self.tuning.retrieval_threads
+            self.index,
+            self.stores,
+            retrieval_threads=self.tuning.retrieval_threads,
+            trace=trace,
         )
 
         masters: list[MasterNode] = []
@@ -86,7 +107,9 @@ class CloudBurstingRuntime:
         slave_id = 0
         for name, site in zip(cluster_names, sites):
             cores = self.compute.cores_at(site)
-            master = MasterNode(name, site, head.inbox, cores, self.tuning)
+            master = MasterNode(
+                name, site, head.inbox, cores, self.tuning, trace=trace
+            )
             masters.append(master)
             for _ in range(cores):
                 slaves.append(
@@ -99,6 +122,8 @@ class CloudBurstingRuntime:
                         master.inbox,
                         units_per_group=self.tuning.units_per_group,
                         fault_hook=self.fault_hook,
+                        trace=trace,
+                        metrics=self.metrics,
                     )
                 )
                 slave_id += 1
@@ -109,7 +134,18 @@ class CloudBurstingRuntime:
         for slave in slaves:
             slave.start()
 
-        result = head.join(timeout=600.0)
+        try:
+            result = head.join(timeout=self.join_timeout)
+        except RuntimeTimeoutError:
+            alive_masters = [m.name for m in masters if m.is_alive()]
+            alive_slaves = [s.slave_id for s in slaves if s.is_alive()]
+            raise RuntimeTimeoutError(
+                f"run did not complete within {self.join_timeout:g}s: the "
+                f"head node is still waiting; masters still alive: "
+                f"{alive_masters or 'none'}; slaves still alive: "
+                f"{alive_slaves or 'none'} — a hung slave or a lost "
+                f"message keeps the reduction from converging"
+            ) from None
         for master in masters:
             master.join(timeout=60.0)
         for slave in slaves:
@@ -125,6 +161,18 @@ class CloudBurstingRuntime:
             )
             telemetry.slaves_failed += master.slaves_failed
             telemetry.jobs_reexecuted += master.jobs_reexecuted
+
+        if self.metrics is not None:
+            registry = self.metrics
+            registry.counter("jobs_stolen").inc(telemetry.total_stolen)
+            registry.counter("slaves_failed").inc(telemetry.slaves_failed)
+            registry.counter("jobs_reexecuted").inc(telemetry.jobs_reexecuted)
+            registry.counter("groups_assigned").inc(
+                sum(c.groups_assigned for c in scheduler.clusters.values())
+            )
+            registry.gauge("workers").set(len(slaves))
+            registry.gauge("clusters").set(len(masters))
+            telemetry.metrics = registry.snapshot()
 
         final_robj = from_bytes(result.blob)
         return RuntimeResult(

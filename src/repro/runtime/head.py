@@ -13,7 +13,8 @@ import threading
 
 from ..core.reduction import ReductionObject, from_bytes
 from ..core.scheduler import HeadScheduler
-from ..errors import RuntimeProtocolError
+from ..errors import RuntimeProtocolError, RuntimeTimeoutError
+from ..obs.events import EventLog
 from .messages import GroupComplete, HeadResult, JobReply, JobRequest, ReductionUpload
 from .transport import Mailbox
 
@@ -29,11 +30,13 @@ class HeadNode:
         expected_clusters: list[str],
         *,
         mailbox: Mailbox | None = None,
+        trace: EventLog | None = None,
     ) -> None:
         if not expected_clusters:
             raise RuntimeProtocolError("head needs at least one cluster")
         self.scheduler = scheduler
         self.expected = list(expected_clusters)
+        self.trace = trace
         self.inbox = mailbox or Mailbox("head")
         self.result: HeadResult | None = None
         self.global_reduction_seconds = 0.0
@@ -51,11 +54,14 @@ class HeadNode:
             raise RuntimeProtocolError("head was never started")
         self._thread.join(timeout)
         if self._thread.is_alive():
-            raise RuntimeProtocolError("head did not finish in time")
+            raise RuntimeTimeoutError(f"head did not finish within {timeout}s")
         if self._failure is not None:
             raise self._failure
         assert self.result is not None
         return self.result
+
+    def is_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
 
     # -- the protocol loop ----------------------------------------------------
 
@@ -76,6 +82,11 @@ class HeadNode:
                 message.reply_to.post(JobReply(group))
             elif isinstance(message, GroupComplete):
                 self.scheduler.complete_group(message.group_id)
+                if self.trace is not None:
+                    self.trace.emit(
+                        "group_acked", cluster=message.cluster,
+                        detail=f"group {message.group_id}",
+                    )
             elif isinstance(message, ReductionUpload):
                 if message.cluster in uploads:
                     raise RuntimeProtocolError(
@@ -98,6 +109,8 @@ class HeadNode:
             if merged is None:
                 merged = robj.clone_empty()
             merged.merge(robj)
+            if self.trace is not None:
+                self.trace.emit("merge_done", cluster=cluster)
         assert merged is not None
         self.global_reduction_seconds = time.perf_counter() - started
         self.result = HeadResult(

@@ -16,6 +16,7 @@ from ..config import MiddlewareTuning
 from ..core.jobpool import JobPool
 from ..core.reduction import merge_all
 from ..errors import RuntimeProtocolError
+from ..obs.events import EventLog
 from .messages import (
     GroupComplete,
     JobRequest,
@@ -41,6 +42,8 @@ class MasterNode:
         head_inbox: Mailbox,
         num_slaves: int,
         tuning: MiddlewareTuning | None = None,
+        *,
+        trace: EventLog | None = None,
     ) -> None:
         if num_slaves <= 0:
             raise RuntimeProtocolError("a cluster needs at least one slave")
@@ -49,6 +52,7 @@ class MasterNode:
         self.head_inbox = head_inbox
         self.num_slaves = num_slaves
         self.tuning = tuning or MiddlewareTuning()
+        self.trace = trace
         self.inbox = Mailbox(f"master:{name}")
         self._head_reply = Mailbox(f"master:{name}:head-reply")
         low_water = max(self.tuning.pool_low_water, min(num_slaves // 2, 8))
@@ -76,6 +80,9 @@ class MasterNode:
         if self._failure is not None:
             raise self._failure
 
+    def is_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
     # -- protocol loop ------------------------------------------------------------
 
     def _run(self) -> None:
@@ -97,6 +104,12 @@ class MasterNode:
         if reply.group is None:
             return False
         self.pool.add_group(reply.group)
+        if self.trace is not None:
+            group = reply.group
+            self.trace.emit(
+                "group_assigned", cluster=self.name, file_id=group.file_id,
+                detail=f"group {group.group_id} x{len(group)}",
+            )
         return True
 
     def _serve(self) -> None:
@@ -161,6 +174,18 @@ class MasterNode:
                 lost = jobs_by_slave.pop(message.slave_id, [])
                 self.pool.requeue(lost)
                 self.jobs_reexecuted += len(lost)
+                if self.trace is not None:
+                    self.trace.emit(
+                        "slave_failed", cluster=self.name,
+                        worker=message.slave_id,
+                        detail=f"{len(lost)} jobs to re-execute",
+                    )
+                    for job in lost:
+                        self.trace.emit(
+                            "job_reexecuted", cluster=self.name,
+                            worker=message.slave_id, job_id=job.job_id,
+                            file_id=job.file_id,
+                        )
                 if expected_robjs == 0:
                     raise RuntimeProtocolError(
                         f"master {self.name!r}: every slave failed"
@@ -176,9 +201,13 @@ class MasterNode:
         started = time.perf_counter()
         combined = merge_all(sorted_robjs(robjs))
         self.combine_seconds = time.perf_counter() - started
+        if self.trace is not None:
+            self.trace.emit("combine_done", cluster=self.name)
         self.head_inbox.post(
             ReductionUpload(cluster=self.name, blob=combined.to_bytes())
         )
+        if self.trace is not None:
+            self.trace.emit("robj_sent", cluster=self.name)
 
 
 def sorted_robjs(messages: list[SlaveReduction]):

@@ -18,6 +18,8 @@ from ..core.api import GeneralizedReductionApp
 from ..core.job import Job
 from ..data.dataset import DatasetReader
 from ..errors import RuntimeProtocolError, WorkerFailure
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
 from .messages import SlaveFailed, SlaveJobDone, SlaveJobRequest, SlaveReduction
 from .telemetry import SlaveTelemetry
 from .transport import Mailbox
@@ -44,6 +46,8 @@ class SlaveWorker:
         *,
         units_per_group: int = 4096,
         fault_hook: FaultHook | None = None,
+        trace: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.slave_id = slave_id
         self.cluster = cluster
@@ -53,6 +57,14 @@ class SlaveWorker:
         self.master_inbox = master_inbox
         self.units_per_group = units_per_group
         self.fault_hook = fault_hook
+        self.trace = trace
+        # Instruments are registry-wide: every slave shares one histogram,
+        # fetched once here so the job loop stays allocation-free.
+        self._fetch_hist = metrics.histogram("fetch_seconds") if metrics else None
+        self._compute_hist = (
+            metrics.histogram("compute_seconds") if metrics else None
+        )
+        self._jobs_counter = metrics.counter("jobs_done") if metrics else None
         self.reply = Mailbox(f"slave:{cluster}:{slave_id}")
         self.telemetry = SlaveTelemetry(slave_id=slave_id, cluster=cluster)
         self.crashed = False
@@ -73,6 +85,9 @@ class SlaveWorker:
             raise RuntimeProtocolError(f"slave {self.slave_id} did not finish")
         if self._failure is not None:
             raise self._failure
+
+    def is_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
 
     # -- worker loop --------------------------------------------------------
 
@@ -99,6 +114,7 @@ class SlaveWorker:
     def _work(self, current: list) -> None:
         robj = self.app.create_reduction_object()
         telemetry = self.telemetry
+        trace = self.trace
         while True:
             self.master_inbox.post(
                 SlaveJobRequest(slave_id=self.slave_id, reply_to=self.reply)
@@ -110,12 +126,46 @@ class SlaveWorker:
             current[0] = job
             if self.fault_hook is not None:
                 self.fault_hook(self.slave_id, job)
+            if trace is not None:
+                trace.emit(
+                    "fetch_start", cluster=self.cluster, worker=self.slave_id,
+                    job_id=job.job_id, file_id=job.file_id,
+                )
+            before_fetch = telemetry.retrieval.total
             with telemetry.retrieval:
                 raw = self.reader.read_job(job, from_site=self.site)
+            if trace is not None:
+                trace.emit(
+                    "fetch_end", cluster=self.cluster, worker=self.slave_id,
+                    job_id=job.job_id, file_id=job.file_id,
+                )
+            if self._fetch_hist is not None:
+                self._fetch_hist.observe(telemetry.retrieval.total - before_fetch)
+            if trace is not None:
+                trace.emit(
+                    "compute_start", cluster=self.cluster, worker=self.slave_id,
+                    job_id=job.job_id,
+                )
+            before_compute = telemetry.processing.total
             with telemetry.processing:
                 units = self.app.decode_chunk(raw)
                 for group in self.app.unit_groups(units, self.units_per_group):
                     self.app.local_reduction(robj, group)
+            if trace is not None:
+                trace.emit(
+                    "compute_end", cluster=self.cluster, worker=self.slave_id,
+                    job_id=job.job_id,
+                )
+                trace.emit(
+                    "job_done", cluster=self.cluster, worker=self.slave_id,
+                    job_id=job.job_id,
+                )
+            if self._compute_hist is not None:
+                self._compute_hist.observe(
+                    telemetry.processing.total - before_compute
+                )
+            if self._jobs_counter is not None:
+                self._jobs_counter.inc()
             telemetry.jobs += 1
             self.master_inbox.post(SlaveJobDone(slave_id=self.slave_id, job=job))
             current[0] = None

@@ -9,8 +9,11 @@ prediction (that is the simulator's job).
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+from ..errors import DataFormatError
 
 __all__ = ["Stopwatch", "SlaveTelemetry", "ClusterTelemetry", "RunTelemetry"]
 
@@ -73,12 +76,18 @@ class ClusterTelemetry:
 
 @dataclass
 class RunTelemetry:
-    """Whole-run accounting returned alongside the application result."""
+    """Whole-run accounting returned alongside the application result.
+
+    ``metrics`` is the :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    taken at the end of the run when the driver was given a registry —
+    plain data, so it serializes with the rest.
+    """
 
     wall_seconds: float
     clusters: dict[str, ClusterTelemetry] = field(default_factory=dict)
     slaves_failed: int = 0
     jobs_reexecuted: int = 0
+    metrics: dict | None = None
 
     @property
     def total_jobs(self) -> int:
@@ -87,3 +96,44 @@ class RunTelemetry:
     @property
     def total_stolen(self) -> int:
         return sum(c.stolen for c in self.clusters.values())
+
+    # -- serialization (mirrors SimReport's, so examples and benches can
+    # persist runtime measurements the same way they persist sim reports) --
+
+    def to_dict(self) -> dict:
+        """Plain-data form for persistence or downstream tooling."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "slaves_failed": self.slaves_failed,
+            "jobs_reexecuted": self.jobs_reexecuted,
+            "clusters": {name: asdict(c) for name, c in self.clusters.items()},
+            "metrics": self.metrics,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunTelemetry":
+        try:
+            clusters = {
+                name: ClusterTelemetry(**fields)
+                for name, fields in doc["clusters"].items()
+            }
+            return cls(
+                wall_seconds=float(doc["wall_seconds"]),
+                clusters=clusters,
+                slaves_failed=int(doc.get("slaves_failed", 0)),
+                jobs_reexecuted=int(doc.get("jobs_reexecuted", 0)),
+                metrics=doc.get("metrics"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise DataFormatError(f"malformed telemetry document: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunTelemetry":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DataFormatError(f"telemetry is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)

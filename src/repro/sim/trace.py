@@ -1,4 +1,12 @@
-"""Execution tracing for the simulator.
+"""Execution tracing for the simulator — now a façade over :mod:`repro.obs`.
+
+Historically this module owned the trace vocabulary and the timeline
+analyses. Both moved to the shared observability layer
+(:mod:`repro.obs`) so the executable runtime emits the *same* event
+stream; this module re-exports them under their original names, and
+:class:`TraceRecorder` is the shared :class:`~repro.obs.events.EventLog`
+(the simulator records at simulated timestamps via ``record``; the
+runtime stamps wall-clock time via ``emit``).
 
 A :class:`TraceRecorder` passed to :class:`~repro.sim.simulation.
 CloudBurstSimulation` captures a timestamped event stream — job
@@ -17,12 +25,11 @@ Tracing is off by default and costs nothing when disabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
-
-from ..errors import SimulationError
+from ..obs.analysis import Interval, render_gantt, utilization, worker_intervals
+from ..obs.events import KINDS, EventLog, TraceEvent
 
 __all__ = [
+    "KINDS",
     "TraceEvent",
     "TraceRecorder",
     "Interval",
@@ -31,147 +38,5 @@ __all__ = [
     "render_gantt",
 ]
 
-#: Event kinds emitted by the simulated nodes.
-KINDS = (
-    "fetch_start",
-    "fetch_end",
-    "compute_start",
-    "compute_end",
-    "job_done",
-    "group_assigned",
-    "group_acked",
-    "combine_done",
-    "robj_sent",
-    "merge_done",
-)
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One timestamped occurrence."""
-
-    time: float
-    kind: str
-    cluster: str = ""
-    worker: int = -1
-    job_id: int = -1
-    file_id: int = -1
-    detail: str = ""
-
-
-@dataclass
-class TraceRecorder:
-    """Collects trace events during a simulation run."""
-
-    events: list[TraceEvent] = field(default_factory=list)
-
-    def record(self, time: float, kind: str, **fields: Any) -> None:
-        if kind not in KINDS:
-            raise SimulationError(f"unknown trace event kind {kind!r}")
-        self.events.append(TraceEvent(time=time, kind=kind, **fields))
-
-    def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
-
-    def for_worker(self, worker: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.worker == worker]
-
-    def workers(self) -> list[int]:
-        return sorted({e.worker for e in self.events if e.worker >= 0})
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-
-@dataclass(frozen=True)
-class Interval:
-    """A worker activity interval."""
-
-    start: float
-    end: float
-    activity: str  # 'retrieval' | 'processing'
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
-
-
-_PAIRS = {
-    "fetch_start": ("fetch_end", "retrieval"),
-    "compute_start": ("compute_end", "processing"),
-}
-
-
-def worker_intervals(trace: TraceRecorder, worker: int) -> list[Interval]:
-    """Reconstruct a worker's busy intervals from its start/end events.
-
-    Raises :class:`SimulationError` on malformed traces (an end without a
-    start, or overlapping activities) — these tests double as an internal
-    consistency check on the simulated slave loop.
-    """
-    intervals: list[Interval] = []
-    open_start: tuple[float, str] | None = None
-    for event in trace.for_worker(worker):
-        if event.kind in _PAIRS:
-            if open_start is not None:
-                raise SimulationError(
-                    f"worker {worker}: {event.kind} at {event.time} while "
-                    f"{open_start[1]} still open"
-                )
-            open_start = (event.time, _PAIRS[event.kind][1])
-        elif event.kind in ("fetch_end", "compute_end"):
-            if open_start is None:
-                raise SimulationError(
-                    f"worker {worker}: {event.kind} without a start"
-                )
-            start, activity = open_start
-            expected_end = "fetch_end" if activity == "retrieval" else "compute_end"
-            if event.kind != expected_end:
-                raise SimulationError(
-                    f"worker {worker}: {event.kind} closes a {activity} interval"
-                )
-            intervals.append(Interval(start=start, end=event.time, activity=activity))
-            open_start = None
-    if open_start is not None:
-        raise SimulationError(f"worker {worker}: trace ends mid-{open_start[1]}")
-    return intervals
-
-
-def utilization(trace: TraceRecorder, makespan: float) -> dict[int, dict[str, float]]:
-    """Per-worker time fractions: retrieval / processing / idle."""
-    if makespan <= 0:
-        raise SimulationError("makespan must be positive")
-    out: dict[int, dict[str, float]] = {}
-    for worker in trace.workers():
-        totals = {"retrieval": 0.0, "processing": 0.0}
-        for interval in worker_intervals(trace, worker):
-            totals[interval.activity] += interval.duration
-        busy = totals["retrieval"] + totals["processing"]
-        out[worker] = {
-            "retrieval": totals["retrieval"] / makespan,
-            "processing": totals["processing"] / makespan,
-            "idle": max(0.0, 1.0 - busy / makespan),
-        }
-    return out
-
-
-def render_gantt(
-    trace: TraceRecorder, makespan: float, *, width: int = 72
-) -> str:
-    """Text Gantt chart: one row per worker, time left to right."""
-    if width <= 0:
-        raise SimulationError("width must be positive")
-    if makespan <= 0:
-        raise SimulationError("makespan must be positive")
-    glyph = {"retrieval": "r", "processing": "P"}
-    rows = []
-    for worker in trace.workers():
-        cells = ["."] * width
-        for interval in worker_intervals(trace, worker):
-            lo = min(width - 1, int(interval.start / makespan * width))
-            hi = min(width, max(lo + 1, int(interval.end / makespan * width)))
-            for i in range(lo, hi):
-                cells[i] = glyph[interval.activity]
-        rows.append(f"w{worker:03d} |{''.join(cells)}|")
-    header = f"time 0 .. {makespan:.1f}s ({'r'}=retrieval, {'P'}=processing)"
-    return header + "\n" + "\n".join(rows)
+#: The shared event log under its historical simulator name.
+TraceRecorder = EventLog

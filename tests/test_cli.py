@@ -90,3 +90,58 @@ def test_module_entrypoint():
     )
     assert proc.returncode == 0
     assert "pagerank" in proc.stdout
+
+
+def test_trace_sim_with_exports(capsys, tmp_path):
+    import json
+
+    jsonl = tmp_path / "t.jsonl"
+    pft = tmp_path / "t.json"
+    code, out = run_cli(
+        capsys, *SCALE, "trace", "knn", "env-50/50",
+        "--width", "30", "--out", str(jsonl), "--perfetto", str(pft),
+    )
+    assert code == 0
+    assert "w000 |" in out
+    assert f"wrote" in out and "t.jsonl" in out
+    from repro.obs import read_jsonl
+
+    back = read_jsonl(jsonl)
+    assert len(back) > 0
+    doc = json.loads(pft.read_text())
+    assert doc["traceEvents"]
+
+
+def test_trace_without_env_or_runtime_fails(capsys):
+    code = main([*SCALE, "trace", "knn"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "environment" in err
+
+
+def test_trace_runtime_and_report_round_trip(capsys, tmp_path):
+    jsonl = tmp_path / "rt.jsonl"
+    code, out = run_cli(
+        capsys, "trace", "wordcount", "--runtime",
+        "--units", "512", "--width", "30", "--out", str(jsonl),
+    )
+    assert code == 0
+    assert "mean worker idle fraction" in out
+    assert jsonl.exists()
+
+    pft = tmp_path / "rt.json"
+    code, out = run_cli(
+        capsys, "report", str(jsonl), "--width", "30", "--perfetto", str(pft),
+    )
+    assert code == 0
+    assert "mean worker idle fraction" in out
+    assert pft.exists()
+
+
+def test_report_rejects_bad_trace_file(capsys, tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("definitely not json\n")
+    code = main(["report", str(bad)])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "bad trace line" in err

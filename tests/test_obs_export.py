@@ -1,0 +1,135 @@
+"""Tests for the trace exporters (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs import (
+    EventLog,
+    TraceEvent,
+    event_to_dict,
+    read_jsonl,
+    render_report,
+    to_perfetto,
+    write_jsonl,
+    write_perfetto,
+)
+
+
+def sample_log() -> EventLog:
+    log = EventLog()
+    log.record(0.0, "group_assigned", cluster="local-cluster", file_id=0,
+               detail="group 0 x4")
+    log.record(0.1, "fetch_start", cluster="local-cluster", worker=0,
+               job_id=1, file_id=0)
+    log.record(0.4, "fetch_end", cluster="local-cluster", worker=0,
+               job_id=1, file_id=0)
+    log.record(0.4, "compute_start", cluster="local-cluster", worker=0, job_id=1)
+    log.record(0.9, "compute_end", cluster="local-cluster", worker=0, job_id=1)
+    log.record(0.9, "job_done", cluster="local-cluster", worker=0, job_id=1)
+    log.record(1.0, "steal", cluster="cloud-cluster", file_id=0, detail="x2")
+    log.record(1.2, "combine_done", cluster="local-cluster")
+    log.record(1.3, "robj_sent", cluster="local-cluster")
+    log.record(1.4, "group_acked", cluster="local-cluster", detail="group 0")
+    log.record(1.5, "merge_done", cluster="local-cluster")
+    return log
+
+
+def test_event_to_dict_omits_defaults():
+    doc = event_to_dict(TraceEvent(time=1.0, kind="job_done", worker=3))
+    assert doc == {"time": 1.0, "kind": "job_done", "worker": 3}
+
+
+def test_jsonl_round_trip(tmp_path):
+    log = sample_log()
+    path = tmp_path / "trace.jsonl"
+    count = write_jsonl(log, path)
+    assert count == len(log)
+    back = read_jsonl(path)
+    assert back.events == log.events
+    # Every line is standalone JSON.
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_read_jsonl_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    with pytest.raises(TraceError, match="bad trace line"):
+        read_jsonl(bad)
+    bad.write_text('{"time": 0.0, "kind": "galactic_flare"}\n')
+    with pytest.raises(TraceError, match="unknown event kind"):
+        read_jsonl(bad)
+    bad.write_text('{"time": 0.0, "kind": "job_done", "nope": 1}\n')
+    with pytest.raises(TraceError):
+        read_jsonl(bad)
+
+
+def test_read_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"time": 0.0, "kind": "job_done", "worker": 0}\n\n')
+    assert len(read_jsonl(path)) == 1
+
+
+def test_perfetto_structure():
+    doc = to_perfetto(sample_log())
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    # Metadata names one head track, two master tracks, one worker track.
+    names = [e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert "head" in names
+    assert "master:local-cluster" in names and "master:cloud-cluster" in names
+    assert any(n.startswith("w000") for n in names)
+    # The paired fetch/compute become complete slices with µs timestamps.
+    slices = [e for e in events if e["ph"] == "X"]
+    assert {s["name"] for s in slices} == {"retrieval", "processing"}
+    retrieval = next(s for s in slices if s["name"] == "retrieval")
+    assert retrieval["ts"] == pytest.approx(0.1e6)
+    assert retrieval["dur"] == pytest.approx(0.3e6)
+    assert retrieval["args"]["job_id"] == 1
+    # Instants cover the control-plane events.
+    instants = {e["name"] for e in events if e["ph"] == "i"}
+    assert {"group_assigned", "steal", "combine_done", "robj_sent",
+            "group_acked", "merge_done", "job_done"} <= instants
+    # head-owned kinds land on tid 0.
+    acked = next(e for e in events if e["ph"] == "i" and e["name"] == "group_acked")
+    assert acked["tid"] == 0
+    # The whole document serializes.
+    json.dumps(doc)
+
+
+def test_write_perfetto(tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_perfetto(sample_log(), path)
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == count
+
+
+def test_perfetto_rejects_malformed_pairs():
+    log = EventLog()
+    log.record(0.0, "fetch_start", worker=0)
+    with pytest.raises(TraceError):
+        to_perfetto(log)
+
+
+def test_render_report_contains_gantt_and_utilization():
+    report = render_report(sample_log(), width=20)
+    assert "events over" in report
+    assert "r" in report and "P" in report
+    assert "w000" in report
+    assert "mean worker idle fraction" in report
+    assert "fetch_start=1" in report
+
+
+def test_render_report_defaults_makespan_to_last_event():
+    report = render_report(sample_log())
+    assert "over 1.500s" in report
+
+
+def test_render_report_rejects_empty_trace():
+    with pytest.raises(TraceError):
+        render_report(EventLog())

@@ -1,0 +1,124 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_inc_and_reject_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("jobs")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ObservabilityError):
+        c.inc(-1)
+
+
+def test_gauge_set_and_add():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(3)
+    g.add(2.5)
+    assert g.value == pytest.approx(5.5)
+
+
+def test_histogram_buckets_and_mean():
+    h = Histogram("lat", (0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    assert h.counts == [1, 1, 1, 1]  # one value per bucket + overflow
+    assert h.count == 4
+    assert h.mean == pytest.approx((0.005 + 0.05 + 0.5 + 5.0) / 4)
+
+
+def test_histogram_boundary_lands_in_lower_bucket():
+    h = Histogram("lat", (0.01, 0.1))
+    h.observe(0.01)  # exactly on a bound: counts as <= bound
+    assert h.counts == [1, 0, 0]
+
+
+def test_histogram_quantile_is_bucket_resolution():
+    h = Histogram("lat", (1.0, 2.0, 4.0))
+    for _ in range(90):
+        h.observe(0.5)
+    for _ in range(10):
+        h.observe(3.0)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(0.95) == 4.0
+    assert Histogram("empty", (1.0,)).quantile(0.9) == 0.0
+    with pytest.raises(ObservabilityError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ObservabilityError):
+        Histogram("bad", ())
+    with pytest.raises(ObservabilityError):
+        Histogram("bad", (1.0, 0.5))
+
+
+def test_registry_get_or_create_shares_instruments():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert reg.histogram("h").buckets == DEFAULT_LATENCY_BUCKETS
+
+
+def test_registry_name_collisions_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ObservabilityError):
+        reg.gauge("x")
+    with pytest.raises(ObservabilityError):
+        reg.histogram("x")
+    reg.histogram("h", (1.0, 2.0))
+    with pytest.raises(ObservabilityError):
+        reg.histogram("h", (1.0, 3.0))  # different buckets, same name
+
+
+def test_snapshot_is_plain_json_data():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("jobs").inc(3)
+    reg.gauge("workers").set(4)
+    reg.histogram("lat", (0.1, 1.0)).observe(0.05)
+    snap = reg.snapshot()
+    doc = json.loads(json.dumps(snap))
+    assert doc["counters"]["jobs"] == 3
+    assert doc["gauges"]["workers"] == 4.0
+    hist = doc["histograms"]["lat"]
+    assert hist["buckets"] == [0.1, 1.0]
+    assert hist["counts"] == [1, 0, 0]
+    assert hist["count"] == 1
+    assert hist["mean"] == pytest.approx(0.05)
+
+
+def test_concurrent_counter_increments():
+    reg = MetricsRegistry()
+    c = reg.counter("n")
+    h = reg.histogram("lat", (0.5,))
+
+    def work():
+        for _ in range(1000):
+            c.inc()
+            h.observe(0.1)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 8000
+    assert h.count == 8000
+    assert h.counts[0] == 8000

@@ -123,6 +123,47 @@ def test_trace_validation():
         render_gantt(TraceRecorder(), 1.0, width=0)
 
 
+def test_render_gantt_width_one():
+    trace = TraceRecorder()
+    trace.record(0.0, "fetch_start", worker=0)
+    trace.record(0.4, "fetch_end", worker=0)
+    trace.record(0.4, "compute_start", worker=0)
+    trace.record(1.0, "compute_end", worker=0)
+    chart = render_gantt(trace, 1.0, width=1)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    # The single cell shows the dominant activity (processing: 0.6 vs 0.4).
+    assert lines[1] == "w000 |P|"
+
+
+def test_worker_intervals_sorts_out_of_order_events():
+    # Threaded emission can append events out of timestamp order; the
+    # pairing must sort by time first instead of rejecting the stream.
+    trace = TraceRecorder()
+    trace.record(0.4, "compute_start", worker=0)
+    trace.record(0.1, "fetch_start", worker=0)
+    trace.record(0.9, "compute_end", worker=0)
+    trace.record(0.4, "fetch_end", worker=0)
+    intervals = worker_intervals(trace, 0)
+    assert [(iv.activity, iv.start, iv.end) for iv in intervals] == [
+        ("retrieval", 0.1, 0.4),
+        ("processing", 0.4, 0.9),
+    ]
+
+
+def test_utilization_with_zero_interval_worker():
+    # A worker whose start and end coincide is fully idle, not an error.
+    trace = TraceRecorder()
+    trace.record(0.5, "fetch_start", worker=0)
+    trace.record(0.5, "fetch_end", worker=0)
+    trace.record(0.0, "fetch_start", worker=1)
+    trace.record(1.0, "fetch_end", worker=1)
+    util = utilization(trace, 1.0)
+    assert util[0]["retrieval"] == 0.0
+    assert util[0]["idle"] == pytest.approx(1.0)
+    assert util[1]["retrieval"] == pytest.approx(1.0)
+
+
 def test_disabled_trace_changes_nothing():
     config = env_config("knn", "env-50/50", scale=SCALE)
     plain = CloudBurstSimulation(config).run()
