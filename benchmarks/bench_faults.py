@@ -1,0 +1,158 @@
+"""Benchmarks of the resilience layer: overhead when idle, throughput under chaos.
+
+Two acceptance bounds and one characterization:
+
+* **Idle overhead** — with no faults injected, routing every read through
+  the retry layer (policy + stats + per-range RNG + breaker accounting)
+  must cost < 2 % extra wall time against the policy-free fast path,
+  measured on the storage path alone (fetch the same chunks with and
+  without a policy).
+* **Chaos throughput** — with 5 % and 20 % seeded transient error rates,
+  the runtime completes with bit-exact results; the bench reports
+  achieved throughput with and without hedging so the cost of recovery
+  is a number, not a guess.
+"""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+from conftest import print_block
+
+from repro.apps import make_bundle
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    PlacementSpec,
+)
+from repro.data.dataset import DatasetReader, build_dataset
+from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
+from repro.runtime.driver import CloudBurstingRuntime
+from repro.storage.objectstore import ObjectStore
+from repro.storage.retrieval import ChunkRetriever
+
+UNITS = 16384
+RECORD = 8
+DATASET = DatasetSpec(
+    total_bytes=UNITS * RECORD,
+    num_files=4,
+    chunk_bytes=(UNITS // 64) * RECORD,
+    record_bytes=RECORD,
+)
+
+
+def materialize():
+    bundle = make_bundle("histogram", UNITS, seed=2011)
+    stores = {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+    index = build_dataset(
+        DATASET, PlacementSpec(0.5), bundle.schema, bundle.block_fn, stores
+    )
+    return bundle, index, stores
+
+
+def drain(retriever: ChunkRetriever, index) -> int:
+    total = 0
+    for job in index.jobs():
+        entry = index.entry(job.file_id)
+        total += len(
+            retriever.fetch(entry.path, job.offset, job.nbytes)
+        )
+    return total
+
+
+def test_retry_layer_idle_overhead_under_two_percent():
+    """No faults -> the resilience plumbing must be nearly free."""
+    bundle = make_bundle("histogram", UNITS, seed=2011)
+    store = ObjectStore()  # one backing store so every job is drainable
+    index = build_dataset(
+        DATASET, PlacementSpec(0.5), bundle.schema, bundle.block_fn,
+        {LOCAL_SITE: store, CLOUD_SITE: store},
+    )
+    bare = ChunkRetriever(store, threads=4)
+    guarded = ChunkRetriever(
+        store, threads=4,
+        policy=RetryPolicy(max_attempts=4, base_backoff=0.001),
+    )
+    expected = sum(e.nbytes for e in index.files)
+
+    reps = 7
+    assert drain(bare, index) >= expected  # warm up + sanity
+    assert drain(guarded, index) >= expected
+    t_bare = min(
+        timeit.timeit(lambda: drain(bare, index), number=1)
+        for _ in range(reps)
+    )
+    t_guarded = min(
+        timeit.timeit(lambda: drain(guarded, index), number=1)
+        for _ in range(reps)
+    )
+    overhead = (t_guarded - t_bare) / t_bare
+    print_block(
+        f"retry-layer idle overhead: bare {t_bare * 1e3:.2f}ms, "
+        f"guarded {t_guarded * 1e3:.2f}ms -> {overhead * 100:+.2f}%"
+    )
+    assert overhead < 0.02, (
+        f"idle retry layer costs {overhead * 100:.2f}% "
+        f"({t_bare * 1e3:.2f}ms -> {t_guarded * 1e3:.2f}ms)"
+    )
+
+
+def run_under_faults(rate: float, hedge: bool) -> tuple[float, dict]:
+    bundle, index, stores = materialize()
+    # Latency spikes ride along with the transients so hedging has
+    # stragglers to race; without them every in-memory read finishes
+    # long before any plausible hedge threshold.
+    spec = FaultSpec(
+        transient_rate=rate, latency_rate=0.15, latency_seconds=0.05,
+        seed=31,
+    )
+    if rate > 0:
+        stores = {s: FaultInjector(st, spec) for s, st in stores.items()}
+    policy = RetryPolicy(
+        max_attempts=8, base_backoff=0.0005, max_backoff=0.005,
+        hedge_after=0.01 if hedge else None,
+    )
+    runtime = CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=2, cloud_cores=2),
+        retry_policy=policy, join_timeout=120.0,
+    )
+    started = time.perf_counter()
+    result = runtime.run()
+    wall = time.perf_counter() - started
+    telemetry = result.telemetry
+    return wall, {
+        "value": result.value,
+        "retries": telemetry.retries,
+        "hedges": telemetry.hedges,
+        "faults": telemetry.faults_injected,
+        "slaves_failed": telemetry.slaves_failed,
+    }
+
+
+def test_throughput_under_transient_error_rates():
+    """5 % and 20 % transient errors: exact results, measured cost."""
+    import numpy as np
+
+    baseline_wall, baseline = run_under_faults(0.0, hedge=False)
+    rows = [f"{'rate':>6} {'hedged':>7} {'wall':>9} {'retries':>8} "
+            f"{'hedges':>7} {'faults':>7}"]
+    rows.append(f"{0.0:>6.0%} {'-':>7} {baseline_wall * 1e3:>8.1f}ms "
+                f"{baseline['retries']:>8} {baseline['hedges']:>7} "
+                f"{baseline['faults']:>7}")
+    for rate in (0.05, 0.20):
+        for hedge in (False, True):
+            wall, info = run_under_faults(rate, hedge)
+            np.testing.assert_array_equal(info["value"], baseline["value"])
+            assert info["slaves_failed"] == 0
+            assert info["faults"] > 0 and info["retries"] > 0
+            if hedge:
+                assert info["hedges"] > 0
+            rows.append(
+                f"{rate:>6.0%} {str(hedge):>7} {wall * 1e3:>8.1f}ms "
+                f"{info['retries']:>8} {info['hedges']:>7} {info['faults']:>7}"
+            )
+    print_block("throughput under injected transient errors\n" + "\n".join(rows))

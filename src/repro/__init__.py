@@ -15,14 +15,21 @@ The package provides:
   baselines (:mod:`repro.baselines`), and the benchmark harness that
   regenerates every table and figure (:mod:`repro.bench`).
 
-Quickstart::
+Quickstart — one facade for every engine::
 
-    from repro import simulate, env_config
+    import repro
 
-    report = simulate(env_config("knn", "env-50/50"))
-    print(report.makespan, report.total_stolen)
+    dataset = repro.DatasetSpec(
+        total_bytes=32768, num_files=4, chunk_bytes=2048, record_bytes=4
+    )
+    result = repro.run("wordcount", dataset, repro.RunConfig(mode="runtime"))
+    print(result.value, result.telemetry.retries)
 
-See ``examples/quickstart.py`` for the executable-runtime path.
+:func:`repro.run` drives the serial oracle, the simulator, or the real
+runtime depending on ``RunConfig.mode``; the older per-engine
+entrypoints (:func:`run_serial`, :func:`simulate`,
+:class:`CloudBurstingRuntime`) remain as thin stable shims over the same
+machinery. See ``examples/quickstart.py`` and ``docs/RESILIENCE.md``.
 """
 
 from .apps import AppBundle, AppProfile, available_apps, make_bundle
@@ -44,6 +51,13 @@ from .config import (
 )
 from .core import GeneralizedReductionApp, ReductionObject, run_serial
 from .errors import ReproError
+from .facade import RunConfig, RunResult, run
+from .resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+)
 from .runtime import CloudBurstingRuntime, run_centralized, run_iterative
 from .sim import PAPER_CALIBRATION, SimCalibration, SimReport, simulate
 
@@ -69,6 +83,13 @@ __all__ = [
     "GeneralizedReductionApp",
     "ReductionObject",
     "run_serial",
+    "run",
+    "RunConfig",
+    "RunResult",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
     "ReproError",
     "CloudBurstingRuntime",
     "run_centralized",

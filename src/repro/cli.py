@@ -101,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset", help="directory produced by `generate`")
     p.add_argument("--local-cores", type=int, default=2)
     p.add_argument("--cloud-cores", type=int, default=2)
+    _add_fault_args(p)
 
     p = sub.add_parser(
         "trace",
@@ -153,6 +154,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--env", default="env-50/50", choices=ENV_NAMES)
     p.add_argument("--iterations", type=int, default=10)
     return parser
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    """Resilience knobs shared by commands that execute the real runtime."""
+    p.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection spec, e.g. 'transient=0.1,latency=0.05:0.02,"
+        "seed=7' (see docs/RESILIENCE.md for the grammar)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max storage attempts per sub-range (default: 4 when --faults "
+        "is given, else no retry layer)",
+    )
+    p.add_argument(
+        "--hedge-after", type=float, default=None, metavar="SECONDS",
+        help="race a duplicate request against any sub-range read slower "
+        "than this (off by default)",
+    )
 
 
 def _cmd_apps(args: argparse.Namespace) -> None:
@@ -282,6 +302,24 @@ def _cmd_generate(args: argparse.Namespace) -> None:
     print(f"index: {out / 'index.json'}")
 
 
+def _resolve_resilience(args: argparse.Namespace):
+    """Map the shared fault/retry flags to ``(FaultSpec | None, RetryPolicy | None)``."""
+    from .resilience import FaultSpec, RetryPolicy
+
+    spec = FaultSpec.parse(args.faults) if args.faults else None
+    if spec is not None and not spec.active:
+        spec = None
+    policy = None
+    if args.retries is not None or args.hedge_after is not None or spec is not None:
+        kwargs = {}
+        if args.retries is not None:
+            kwargs["max_attempts"] = args.retries
+        if args.hedge_after is not None:
+            kwargs["hedge_after"] = args.hedge_after
+        policy = RetryPolicy(**kwargs)
+    return spec, policy
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     import json
     from pathlib import Path
@@ -291,6 +329,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     from .apps import make_bundle
     from .config import CLOUD_SITE, ComputeSpec, LOCAL_SITE
     from .core.index import DataIndex
+    from .resilience import FaultInjector
     from .runtime.driver import CloudBurstingRuntime
     from .storage.localfs import LocalStorage
 
@@ -307,9 +346,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
         LOCAL_SITE: LocalStorage(root / "local"),
         CLOUD_SITE: LocalStorage(root / "cloud"),
     }
+    spec, policy = _resolve_resilience(args)
+    if spec is not None:
+        stores = {site: FaultInjector(s, spec) for site, s in stores.items()}
     runtime = CloudBurstingRuntime(
         bundle.app, index, stores,
         ComputeSpec(local_cores=args.local_cores, cloud_cores=args.cloud_cores),
+        retry_policy=policy,
     )
     result = runtime.run()
     value = result.value
@@ -325,6 +368,14 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(f"result: {seq}")
     for name, cluster in result.telemetry.clusters.items():
         print(f"{name}: {cluster.jobs} jobs ({cluster.stolen} stolen)")
+    t = result.telemetry
+    if spec is not None or policy is not None:
+        print(
+            f"resilience: {t.faults_injected} faults injected, "
+            f"{t.retries} retries, {t.hedges} hedges "
+            f"({t.hedge_wins} won), {t.timeouts} timeouts, "
+            f"{t.circuit_opens} circuit opens"
+        )
 
 
 def _export_trace(trace, args: argparse.Namespace) -> None:

@@ -101,6 +101,12 @@ def run_serial(
     This is the simplest possible execution of the API: a single reduction
     object, every chunk processed in order. Integration tests compare the
     distributed runtime's output against this.
+
+    .. deprecated::
+        Prefer :func:`repro.run` with ``RunConfig(mode="serial")`` — the
+        unified facade — for new code. This function remains as the thin
+        engine the facade calls (``tests/test_run_facade.py`` pins the
+        equivalence) and will not be removed.
     """
     robj = app.create_reduction_object()
     for raw in chunks:

@@ -9,6 +9,7 @@ the index, fetch the chunk's bytes from whichever site hosts it.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Mapping
@@ -20,6 +21,9 @@ from ..core.index import DataIndex, FileEntry
 from ..core.job import Job
 from ..errors import DataFormatError
 from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
+from ..resilience.circuit import CircuitBreaker
+from ..resilience.retry import ResilienceStats, RetryPolicy
 from ..storage.base import StorageService
 from ..storage.retrieval import ChunkRetriever
 from .records import RecordSchema
@@ -105,12 +109,65 @@ class DatasetReader:
     ``trace`` is an optional :class:`repro.obs.events.EventLog`; when set,
     every cross-site fetch lands on the timeline as a ``remote_fetch``
     event (the data-movement cost the paper's scheduler tries to avoid).
+
+    ``retry`` is an optional :class:`~repro.resilience.RetryPolicy`; when
+    set, *every* read (remote and local) is issued through a resilient
+    :class:`~repro.storage.retrieval.ChunkRetriever` — per-sub-range
+    retries with backoff, hedged stragglers, and a per-site
+    :class:`~repro.resilience.CircuitBreaker` that degrades a failing
+    endpoint from parallel to single-stream reads. The reader-wide
+    ``resilience`` stats object accumulates what the machinery did across
+    every slave sharing this reader.
     """
 
     index: DataIndex
     stores: Mapping[str, StorageService]
     retrieval_threads: int = 4
     trace: EventLog | None = None
+    retry: RetryPolicy | None = None
+    metrics: MetricsRegistry | None = None
+    breaker_failure_threshold: int = 8
+    breaker_recovery_successes: int = 32
+
+    def __post_init__(self) -> None:
+        self.resilience = ResilienceStats()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._retrievers: dict[tuple[str, int], ChunkRetriever] = {}
+        self._lock = threading.Lock()
+
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        """Per-site circuit breakers created so far (empty without retry)."""
+        with self._lock:
+            return dict(self._breakers)
+
+    def _retriever(self, site: str, store: StorageService, threads: int) -> ChunkRetriever:
+        """One cached retriever per (site, width); breakers are per site so
+        the parallel and single-stream paths share failure history."""
+        with self._lock:
+            retriever = self._retrievers.get((site, threads))
+            if retriever is None:
+                breaker = None
+                if self.retry is not None:
+                    breaker = self._breakers.get(site)
+                    if breaker is None:
+                        breaker = CircuitBreaker(
+                            self.breaker_failure_threshold,
+                            self.breaker_recovery_successes,
+                            name=site,
+                            trace=self.trace,
+                        )
+                        self._breakers[site] = breaker
+                retriever = ChunkRetriever(
+                    store,
+                    threads=threads,
+                    policy=self.retry,
+                    breaker=breaker,
+                    stats=self.resilience,
+                    trace=self.trace,
+                    metrics=self.metrics,
+                )
+                self._retrievers[(site, threads)] = retriever
+            return retriever
 
     def read_job(self, job: Job, *, from_site: str | None = None) -> bytes:
         """Fetch the chunk for ``job``.
@@ -129,8 +186,17 @@ class DatasetReader:
                 detail=f"{from_site}<-{entry.site} {job.nbytes}B",
             )
         if remote and self.retrieval_threads > 1:
-            retriever = ChunkRetriever(store, threads=self.retrieval_threads)
-            return retriever.fetch(entry.path, job.offset, job.nbytes)
+            retriever = self._retriever(entry.site, store, self.retrieval_threads)
+            return retriever.fetch(
+                entry.path, job.offset, job.nbytes,
+                job_id=job.job_id, file_id=job.file_id,
+            )
+        if self.retry is not None:
+            retriever = self._retriever(entry.site, store, 1)
+            return retriever.fetch(
+                entry.path, job.offset, job.nbytes,
+                job_id=job.job_id, file_id=job.file_id,
+            )
         return store.get(entry.path, job.offset, job.nbytes)
 
     def read_all_chunks(self) -> list[bytes]:

@@ -41,6 +41,26 @@ class ObjectNotFoundError(StorageError):
         self.key = key
 
 
+class TransientStorageError(StorageError):
+    """A storage request failed in a way that may succeed on retry.
+
+    Real object stores return 500/503/timeout-class errors under load;
+    the :class:`~repro.resilience.FaultInjector` raises this type and the
+    :class:`~repro.resilience.RetryPolicy` machinery retries it. Anything
+    that is a plain :class:`StorageError` (bad range, missing key) fails
+    fast instead.
+    """
+
+
+class PermanentStorageError(StorageError):
+    """A storage request that will never succeed, no matter how retried.
+
+    Raised by the fault injector for keys configured as permanently
+    failed; the retry layer deliberately does not retry it, so it
+    surfaces through the slave-failure / re-execution recovery path.
+    """
+
+
 class SchedulingError(ReproError):
     """The scheduler was asked to do something inconsistent.
 

@@ -1,0 +1,289 @@
+"""One front door for every execution path.
+
+The repo grew three ways to execute an application — the serial oracle
+(:func:`repro.core.api.run_serial`), the discrete-event simulator
+(:func:`repro.sim.simulation.simulate`), and the in-process executable
+runtime (:class:`repro.runtime.driver.CloudBurstingRuntime`). Each had
+its own setup ritual. :func:`run` collapses them behind one call:
+
+.. code-block:: python
+
+    import repro
+
+    result = repro.run("wordcount", dataset, repro.RunConfig(mode="runtime"))
+    print(result.value, result.telemetry.retries)
+
+``mode`` selects the engine; everything else (placement, compute split,
+tuning, fault injection, retry policy, observability hooks) lives on
+:class:`RunConfig` and means the same thing in every mode that supports
+it. The legacy entrypoints remain as thin, stable shims — the facade
+calls into the very same code, and ``tests/test_run_facade.py`` pins the
+equivalence — but new code should start here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .apps import AppBundle, make_bundle
+from .config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    ExperimentConfig,
+    MiddlewareTuning,
+    PlacementSpec,
+)
+from .core.api import run_serial
+from .data.dataset import DatasetReader, build_dataset
+from .errors import ConfigurationError
+from .obs.events import EventLog
+from .obs.metrics import MetricsRegistry
+from .resilience.faults import FaultInjector, FaultSpec
+from .resilience.retry import RetryPolicy
+from .runtime.driver import CloudBurstingRuntime
+from .runtime.telemetry import RunTelemetry
+from .sim.metrics import SimReport
+from .sim.simulation import CloudBurstSimulation
+from .storage.base import StorageService
+from .storage.objectstore import ObjectStore
+
+__all__ = ["RunConfig", "RunResult", "run"]
+
+#: The engines :func:`run` can drive.
+MODES = ("serial", "simulate", "runtime")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything about *how* to execute, independent of the app and data.
+
+    * ``mode`` — ``"serial"`` (single-threaded oracle), ``"simulate"``
+      (discrete-event model of the paper's testbed), or ``"runtime"``
+      (real threads over real bytes);
+    * ``placement`` / ``compute`` / ``tuning`` / ``seed`` — the same specs
+      :class:`~repro.config.ExperimentConfig` takes;
+    * ``faults`` — a :class:`~repro.resilience.FaultSpec` or its text form
+      (``"transient=0.1,seed=7"``); wraps every store in a
+      :class:`~repro.resilience.FaultInjector` (serial and runtime modes);
+    * ``retry`` — a :class:`~repro.resilience.RetryPolicy` for the data
+      path. Defaults to ``RetryPolicy()`` whenever faults are active so a
+      chaos run completes out of the box;
+    * ``trace`` / ``metrics`` — observability hooks threaded through to
+      whichever engine runs.
+
+    ``app_params`` is forwarded to the application factory when the app is
+    given as a registry key (e.g. ``{"k": 8}`` for knn).
+    """
+
+    mode: str = "runtime"
+    placement: PlacementSpec = field(default_factory=lambda: PlacementSpec(0.5))
+    compute: ComputeSpec = field(
+        default_factory=lambda: ComputeSpec(local_cores=2, cloud_cores=2)
+    )
+    tuning: MiddlewareTuning = field(default_factory=MiddlewareTuning)
+    seed: int = 2011
+    name: str = "adhoc"
+    faults: FaultSpec | str | None = None
+    retry: RetryPolicy | None = None
+    join_timeout: float = 600.0
+    trace: EventLog | None = None
+    metrics: MetricsRegistry | None = None
+    app_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown run mode {self.mode!r}; expected one of {MODES}"
+            )
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultSpec.parse(self.faults))
+        if self.join_timeout <= 0:
+            raise ConfigurationError("join_timeout must be positive")
+
+    @property
+    def fault_spec(self) -> FaultSpec | None:
+        """The parsed fault spec, or ``None`` when no faults are configured."""
+        spec = self.faults
+        if spec is None or not spec.active:
+            return None
+        return spec
+
+    @property
+    def effective_retry(self) -> RetryPolicy | None:
+        """The retry policy actually applied: the configured one, or the
+        default policy when faults are active and none was given."""
+        if self.retry is not None:
+            return self.retry
+        if self.fault_spec is not None:
+            return RetryPolicy()
+        return None
+
+
+@dataclass
+class RunResult:
+    """Common result shape across every mode.
+
+    ``value`` is the application result (``None`` in simulate mode — the
+    simulator models costs, not bytes). ``telemetry`` is filled by serial
+    and runtime modes; ``sim_report`` by simulate mode. ``wall_seconds``
+    is measured wall-clock for executable modes and the simulated makespan
+    for simulate mode.
+    """
+
+    value: Any
+    mode: str
+    wall_seconds: float
+    telemetry: RunTelemetry | None = None
+    sim_report: SimReport | None = None
+
+
+def _resolve_bundle(
+    app: str | AppBundle, dataset: DatasetSpec, config: RunConfig
+) -> AppBundle:
+    if isinstance(app, AppBundle):
+        return app
+    return make_bundle(
+        app, dataset.total_units, seed=config.seed, **dict(config.app_params)
+    )
+
+
+def _build_stores(
+    bundle: AppBundle, dataset: DatasetSpec, config: RunConfig
+):
+    """Materialize the dataset into fresh in-memory stores.
+
+    Returns ``(index, stores)`` with every store wrapped in a
+    :class:`FaultInjector` when the config carries an active fault spec
+    (the bytes are written through the clean stores first — faults only
+    ever hit the read path).
+    """
+    base: dict[str, StorageService] = {
+        LOCAL_SITE: ObjectStore(),
+        CLOUD_SITE: ObjectStore(),
+    }
+    index = build_dataset(
+        dataset, config.placement, bundle.schema, bundle.block_fn, base
+    )
+    spec = config.fault_spec
+    if spec is None:
+        return index, base
+    stores = {
+        site: FaultInjector(store, spec, trace=config.trace)
+        for site, store in base.items()
+    }
+    return index, stores
+
+
+def _run_serial(
+    app: str | AppBundle, dataset: DatasetSpec, config: RunConfig
+) -> RunResult:
+    bundle = _resolve_bundle(app, dataset, config)
+    index, stores = _build_stores(bundle, dataset, config)
+    reader = DatasetReader(
+        index,
+        stores,
+        retrieval_threads=1,
+        trace=config.trace,
+        retry=config.effective_retry,
+        metrics=config.metrics,
+    )
+    started = time.perf_counter()
+    value = run_serial(
+        bundle.app,
+        reader.read_all_chunks(),
+        units_per_group=config.tuning.units_per_group,
+    )
+    wall = time.perf_counter() - started
+    telemetry = RunTelemetry(wall_seconds=wall)
+    resilience = reader.resilience
+    telemetry.retries = resilience.retries
+    telemetry.hedges = resilience.hedges
+    telemetry.hedge_wins = resilience.hedge_wins
+    telemetry.timeouts = resilience.timeouts
+    telemetry.faults_injected = sum(
+        store.counters.total
+        for store in stores.values()
+        if isinstance(store, FaultInjector)
+    )
+    return RunResult(
+        value=value, mode="serial", wall_seconds=wall, telemetry=telemetry
+    )
+
+
+def _run_simulate(
+    app: str | AppBundle, dataset: DatasetSpec, config: RunConfig
+) -> RunResult:
+    key = app if isinstance(app, str) else app.profile.key
+    experiment = ExperimentConfig(
+        name=config.name,
+        app=key,
+        dataset=dataset,
+        placement=config.placement,
+        compute=config.compute,
+        tuning=config.tuning,
+        seed=config.seed,
+    )
+    profile = None if isinstance(app, str) else app.profile
+    report = CloudBurstSimulation(
+        experiment, profile=profile, trace=config.trace
+    ).run()
+    return RunResult(
+        value=None,
+        mode="simulate",
+        wall_seconds=report.makespan,
+        sim_report=report,
+    )
+
+
+def _run_runtime(
+    app: str | AppBundle, dataset: DatasetSpec, config: RunConfig
+) -> RunResult:
+    bundle = _resolve_bundle(app, dataset, config)
+    index, stores = _build_stores(bundle, dataset, config)
+    runtime = CloudBurstingRuntime(
+        bundle.app,
+        index,
+        stores,
+        config.compute,
+        tuning=config.tuning,
+        seed=config.seed,
+        trace=config.trace,
+        metrics=config.metrics,
+        join_timeout=config.join_timeout,
+        retry_policy=config.effective_retry,
+    )
+    result = runtime.run()
+    return RunResult(
+        value=result.value,
+        mode="runtime",
+        wall_seconds=result.telemetry.wall_seconds,
+        telemetry=result.telemetry,
+    )
+
+
+_ENGINES = {
+    "serial": _run_serial,
+    "simulate": _run_simulate,
+    "runtime": _run_runtime,
+}
+
+
+def run(
+    app: str | AppBundle,
+    dataset: DatasetSpec,
+    config: RunConfig | None = None,
+) -> RunResult:
+    """Execute ``app`` over ``dataset`` with the engine ``config`` selects.
+
+    ``app`` is a registry key (``"knn"``, ``"wordcount"``, ...) or a
+    pre-built :class:`~repro.apps.AppBundle`. ``dataset`` gives the data
+    shape; serial and runtime modes materialize it into in-memory stores
+    (deterministically from ``config.seed``), simulate mode only models
+    it. With no config, a 50/50 placement runtime run on 2+2 cores.
+    """
+    config = config or RunConfig()
+    return _ENGINES[config.mode](app, dataset, config)

@@ -49,6 +49,11 @@ RUNTIME_KINDS = (
     "slave_failed",  # a slave worker died; its work will be re-executed
     "job_reexecuted",  # one job recovered from a dead slave's backlog
     "remote_fetch",  # the dataset reader crossed sites for a chunk
+    "retry",  # a sub-range read failed transiently and is being retried
+    "hedge",  # a straggling sub-range read was raced with a duplicate
+    "circuit_open",  # an endpoint degraded to single-stream reads
+    "circuit_close",  # a degraded endpoint recovered to parallel reads
+    "fault_injected",  # the fault injector perturbed a storage request
 )
 
 #: The full shared vocabulary.

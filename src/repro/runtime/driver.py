@@ -28,6 +28,8 @@ from ..data.dataset import DatasetReader
 from ..errors import ConfigurationError, RuntimeTimeoutError
 from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry
+from ..resilience.faults import FaultInjector
+from ..resilience.retry import RetryPolicy
 from ..storage.base import StorageService
 from .head import HeadNode
 from .master import MasterNode
@@ -62,6 +64,7 @@ class CloudBurstingRuntime:
         trace: EventLog | None = None,
         metrics: MetricsRegistry | None = None,
         join_timeout: float = 600.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if compute.total_cores <= 0:
             raise ConfigurationError("need at least one core")
@@ -80,9 +83,19 @@ class CloudBurstingRuntime:
         self.trace = trace
         self.metrics = metrics
         self.join_timeout = join_timeout
+        #: Optional :class:`~repro.resilience.RetryPolicy` applied to every
+        #: chunk read (retry/backoff, hedging, circuit-breaker degradation).
+        self.retry_policy = retry_policy
 
     def run(self) -> RuntimeResult:
         started = time.perf_counter()
+        # Injector counters are cumulative across passes (run_iterative
+        # reuses the stores); report this run's delta.
+        faults_before = sum(
+            store.counters.total
+            for store in self.stores.values()
+            if isinstance(store, FaultInjector)
+        )
         trace = self.trace
         if trace is not None:
             trace.start()  # idempotent: iterative passes share one origin
@@ -94,12 +107,16 @@ class CloudBurstingRuntime:
         for name, site in zip(cluster_names, sites):
             scheduler.register_cluster(name, site)
 
-        head = HeadNode(scheduler, cluster_names, trace=trace)
+        head = HeadNode(
+            scheduler, cluster_names, trace=trace, take_timeout=self.join_timeout
+        )
         reader = DatasetReader(
             self.index,
             self.stores,
             retrieval_threads=self.tuning.retrieval_threads,
             trace=trace,
+            retry=self.retry_policy,
+            metrics=self.metrics,
         )
 
         masters: list[MasterNode] = []
@@ -108,7 +125,8 @@ class CloudBurstingRuntime:
         for name, site in zip(cluster_names, sites):
             cores = self.compute.cores_at(site)
             master = MasterNode(
-                name, site, head.inbox, cores, self.tuning, trace=trace
+                name, site, head.inbox, cores, self.tuning, trace=trace,
+                take_timeout=self.join_timeout,
             )
             masters.append(master)
             for _ in range(cores):
@@ -124,6 +142,7 @@ class CloudBurstingRuntime:
                         fault_hook=self.fault_hook,
                         trace=trace,
                         metrics=self.metrics,
+                        take_timeout=self.join_timeout,
                     )
                 )
                 slave_id += 1
@@ -147,9 +166,9 @@ class CloudBurstingRuntime:
                 f"message keeps the reduction from converging"
             ) from None
         for master in masters:
-            master.join(timeout=60.0)
+            master.join(timeout=self.join_timeout)
         for slave in slaves:
-            slave.join(timeout=60.0)
+            slave.join(timeout=self.join_timeout)
 
         wall = time.perf_counter() - started
         telemetry = RunTelemetry(wall_seconds=wall)
@@ -162,6 +181,23 @@ class CloudBurstingRuntime:
             telemetry.slaves_failed += master.slaves_failed
             telemetry.jobs_reexecuted += master.jobs_reexecuted
 
+        resilience = reader.resilience
+        telemetry.retries = resilience.retries
+        telemetry.hedges = resilience.hedges
+        telemetry.hedge_wins = resilience.hedge_wins
+        telemetry.timeouts = resilience.timeouts
+        telemetry.circuit_opens = sum(
+            b.opens for b in reader.breakers().values()
+        )
+        telemetry.faults_injected = (
+            sum(
+                store.counters.total
+                for store in self.stores.values()
+                if isinstance(store, FaultInjector)
+            )
+            - faults_before
+        )
+
         if self.metrics is not None:
             registry = self.metrics
             registry.counter("jobs_stolen").inc(telemetry.total_stolen)
@@ -170,6 +206,10 @@ class CloudBurstingRuntime:
             registry.counter("groups_assigned").inc(
                 sum(c.groups_assigned for c in scheduler.clusters.values())
             )
+            registry.counter("retries").inc(telemetry.retries)
+            registry.counter("hedges").inc(telemetry.hedges)
+            registry.counter("circuit_opens").inc(telemetry.circuit_opens)
+            registry.counter("faults_injected").inc(telemetry.faults_injected)
             registry.gauge("workers").set(len(slaves))
             registry.gauge("clusters").set(len(masters))
             telemetry.metrics = registry.snapshot()

@@ -31,12 +31,15 @@ class HeadNode:
         *,
         mailbox: Mailbox | None = None,
         trace: EventLog | None = None,
+        take_timeout: float = 60.0,
     ) -> None:
         if not expected_clusters:
             raise RuntimeProtocolError("head needs at least one cluster")
         self.scheduler = scheduler
         self.expected = list(expected_clusters)
         self.trace = trace
+        #: Mailbox-receive timeout, threaded from the driver's ``join_timeout``.
+        self.take_timeout = take_timeout
         self.inbox = mailbox or Mailbox("head")
         self.result: HeadResult | None = None
         self.global_reduction_seconds = 0.0
@@ -76,7 +79,7 @@ class HeadNode:
 
         uploads: dict[str, ReductionObject] = {}
         while len(uploads) < len(self.expected):
-            message = self.inbox.take(timeout=60.0)
+            message = self.inbox.take(timeout=self.take_timeout)
             if isinstance(message, JobRequest):
                 group = self.scheduler.request_jobs(message.cluster, message.max_jobs)
                 message.reply_to.post(JobReply(group))

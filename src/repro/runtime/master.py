@@ -44,6 +44,7 @@ class MasterNode:
         tuning: MiddlewareTuning | None = None,
         *,
         trace: EventLog | None = None,
+        take_timeout: float = 60.0,
     ) -> None:
         if num_slaves <= 0:
             raise RuntimeProtocolError("a cluster needs at least one slave")
@@ -53,6 +54,9 @@ class MasterNode:
         self.num_slaves = num_slaves
         self.tuning = tuning or MiddlewareTuning()
         self.trace = trace
+        #: Mailbox-receive timeout, threaded from the driver's
+        #: ``join_timeout`` (see :class:`~repro.runtime.driver.CloudBurstingRuntime`).
+        self.take_timeout = take_timeout
         self.inbox = Mailbox(f"master:{name}")
         self._head_reply = Mailbox(f"master:{name}:head-reply")
         low_water = max(self.tuning.pool_low_water, min(num_slaves // 2, 8))
@@ -100,7 +104,7 @@ class MasterNode:
                 max_jobs=self.tuning.job_group_size,
             )
         )
-        reply = self._head_reply.take(timeout=60.0)
+        reply = self._head_reply.take(timeout=self.take_timeout)
         if reply.group is None:
             return False
         self.pool.add_group(reply.group)
@@ -156,7 +160,7 @@ class MasterNode:
                 request.reply_to.post(SlaveJobReply(job))
 
         while len(robjs) < expected_robjs:
-            message = self.inbox.take(timeout=60.0)
+            message = self.inbox.take(timeout=self.take_timeout)
             if isinstance(message, SlaveJobRequest):
                 waiting.append(message)
                 refill()

@@ -48,6 +48,7 @@ class SlaveWorker:
         fault_hook: FaultHook | None = None,
         trace: EventLog | None = None,
         metrics: MetricsRegistry | None = None,
+        take_timeout: float = 60.0,
     ) -> None:
         self.slave_id = slave_id
         self.cluster = cluster
@@ -58,6 +59,10 @@ class SlaveWorker:
         self.units_per_group = units_per_group
         self.fault_hook = fault_hook
         self.trace = trace
+        #: Mailbox-receive timeout, threaded from the driver's
+        #: ``join_timeout`` so short-deadline fault tests are not pinned
+        #: to a hard-coded minute.
+        self.take_timeout = take_timeout
         # Instruments are registry-wide: every slave shares one histogram,
         # fetched once here so the job loop stays allocation-free.
         self._fetch_hist = metrics.histogram("fetch_seconds") if metrics else None
@@ -119,7 +124,7 @@ class SlaveWorker:
             self.master_inbox.post(
                 SlaveJobRequest(slave_id=self.slave_id, reply_to=self.reply)
             )
-            reply = self.reply.take(timeout=60.0)
+            reply = self.reply.take(timeout=self.take_timeout)
             job = reply.job
             if job is None:
                 break

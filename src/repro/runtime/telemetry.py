@@ -87,6 +87,15 @@ class RunTelemetry:
     clusters: dict[str, ClusterTelemetry] = field(default_factory=dict)
     slaves_failed: int = 0
     jobs_reexecuted: int = 0
+    #: Data-path recovery accounting (see :mod:`repro.resilience`): filled
+    #: by the driver from the reader's shared stats when a retry policy is
+    #: active; all zero otherwise.
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    timeouts: int = 0
+    circuit_opens: int = 0
+    faults_injected: int = 0
     metrics: dict | None = None
 
     @property
@@ -106,6 +115,12 @@ class RunTelemetry:
             "wall_seconds": self.wall_seconds,
             "slaves_failed": self.slaves_failed,
             "jobs_reexecuted": self.jobs_reexecuted,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "timeouts": self.timeouts,
+            "circuit_opens": self.circuit_opens,
+            "faults_injected": self.faults_injected,
             "clusters": {name: asdict(c) for name, c in self.clusters.items()},
             "metrics": self.metrics,
         }
@@ -125,6 +140,12 @@ class RunTelemetry:
                 clusters=clusters,
                 slaves_failed=int(doc.get("slaves_failed", 0)),
                 jobs_reexecuted=int(doc.get("jobs_reexecuted", 0)),
+                retries=int(doc.get("retries", 0)),
+                hedges=int(doc.get("hedges", 0)),
+                hedge_wins=int(doc.get("hedge_wins", 0)),
+                timeouts=int(doc.get("timeouts", 0)),
+                circuit_opens=int(doc.get("circuit_opens", 0)),
+                faults_injected=int(doc.get("faults_injected", 0)),
                 metrics=doc.get("metrics"),
             )
         except (KeyError, TypeError) as exc:

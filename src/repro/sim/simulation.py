@@ -305,5 +305,11 @@ def simulate(
     calibration: SimCalibration = PAPER_CALIBRATION,
     profile: AppProfile | None = None,
 ) -> SimReport:
-    """Convenience one-shot: build and run a simulation."""
+    """Convenience one-shot: build and run a simulation.
+
+    .. deprecated::
+        Prefer :func:`repro.run` with ``RunConfig(mode="simulate")`` for
+        new code; this shim stays (the facade drives the same
+        :class:`CloudBurstSimulation`) and will not be removed.
+    """
     return CloudBurstSimulation(config, calibration, profile).run()

@@ -36,18 +36,40 @@ def validate_range(total: int, offset: int, length: int | None) -> int:
 
 
 class StorageService(abc.ABC):
-    """Keyed blob storage with byte-range reads."""
+    """Keyed blob storage with byte-range reads.
+
+    :meth:`read_range` is the **single abstract read signature**: every
+    backend implements exactly ``read_range(key, offset, nbytes)`` and
+    every consumer on the data path (the resilient
+    :class:`~repro.storage.retrieval.ChunkRetriever`, the
+    :class:`~repro.resilience.FaultInjector`) programs only against it.
+    :meth:`get` remains as a concrete convenience for whole/open-ended
+    reads and resolves onto ``read_range``.
+    """
 
     @abc.abstractmethod
     def put(self, key: str, data: bytes) -> None:
         """Store ``data`` under ``key``, replacing any existing blob."""
 
     @abc.abstractmethod
+    def read_range(self, key: str, offset: int, nbytes: int) -> bytes:
+        """Read exactly the byte range ``[offset, offset + nbytes)``.
+
+        ``nbytes`` is clamped to the blob's end (a range starting before
+        the end but extending past it returns the available suffix).
+        Raises :class:`~repro.errors.ObjectNotFoundError` for unknown
+        keys and :class:`~repro.errors.StorageError` for invalid ranges.
+        """
+
     def get(self, key: str, offset: int = 0, length: int | None = None) -> bytes:
         """Read ``length`` bytes (or to the end) starting at ``offset``.
 
-        Raises :class:`~repro.errors.ObjectNotFoundError` for unknown keys.
+        Convenience over :meth:`read_range`; an open-ended read resolves
+        the length from :meth:`size` first.
         """
+        if length is None:
+            length = validate_range(self.size(key), offset, None)
+        return self.read_range(key, offset, length)
 
     @abc.abstractmethod
     def size(self, key: str) -> int:

@@ -36,12 +36,12 @@ class LocalStorage(StorageService):
         tmp.write_bytes(data)
         os.replace(tmp, path)
 
-    def get(self, key: str, offset: int = 0, length: int | None = None) -> bytes:
+    def read_range(self, key: str, offset: int, nbytes: int) -> bytes:
         path = self._path(key)
         if not path.is_file():
             raise ObjectNotFoundError(key)
         total = path.stat().st_size
-        actual = validate_range(total, offset, length)
+        actual = validate_range(total, offset, nbytes)
         with path.open("rb") as fh:
             fh.seek(offset)
             return fh.read(actual)

@@ -78,12 +78,12 @@ class ObjectStore(StorageService):
             self._blobs[key] = bytes(data)
         self.stats.record_put(len(data))
 
-    def get(self, key: str, offset: int = 0, length: int | None = None) -> bytes:
+    def read_range(self, key: str, offset: int, nbytes: int) -> bytes:
         with self._lock:
             blob = self._blobs.get(key)
         if blob is None:
             raise ObjectNotFoundError(key)
-        actual = validate_range(len(blob), offset, length)
+        actual = validate_range(len(blob), offset, nbytes)
         if self.shaper is not None:
             delay = self.shaper.delay_for(actual)
             if delay > 0:

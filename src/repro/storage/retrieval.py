@@ -1,4 +1,4 @@
-"""Multi-threaded chunk retrieval.
+"""Multi-threaded, fault-tolerant chunk retrieval.
 
 Section III-B: "Each slave retrieves jobs using multiple retrieval threads,
 to capitalize on the fast network interconnects." A remote chunk's byte
@@ -7,14 +7,34 @@ reassembled in order. For a shaped object store whose per-connection
 bandwidth is the bottleneck, aggregate throughput scales with the number of
 connections until the site link saturates — the behaviour the paper
 exploits (and which `bench_ablation_retrieval` sweeps).
+
+On top of the parallel split sits the resilience ladder
+(:mod:`repro.resilience`, ``docs/RESILIENCE.md``): each sub-range is
+retried under a :class:`~repro.resilience.RetryPolicy` (decorrelated-jitter
+backoff, optional per-attempt timeout and overall deadline); a sub-range
+still running past the hedging threshold is raced against a duplicate
+request, first response wins; and a :class:`~repro.resilience.CircuitBreaker`
+that has seen enough consecutive endpoint failures degrades the fetch from
+N-way parallel to a single sequential stream instead of failing the job.
+With ``policy=None`` (the default) none of this machinery is constructed
+and the fetch path is the original direct read.
 """
 
 from __future__ import annotations
 
+import queue
+import random
+import threading
+import time
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from ..errors import StorageError
+from ..errors import StorageError, TransientStorageError
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
+from ..resilience.circuit import CircuitBreaker
+from ..resilience.retry import ResilienceStats, RetryPolicy, retry_call
 from .base import StorageService
 
 __all__ = ["RangePlan", "plan_ranges", "ChunkRetriever"]
@@ -56,30 +76,231 @@ class ChunkRetriever:
     """Fetches chunk byte ranges from a storage service, possibly in parallel.
 
     A retriever is cheap to construct per slave; it owns a thread pool only
-    while in use (context-managed by the caller or per-call).
+    while in use (context-managed by the caller or per-call). With a
+    ``policy`` it becomes resilient: sub-ranges are retried, hedged, and
+    the whole fetch degrades to single-stream while ``breaker`` is open.
+    ``stats``/``trace``/``metrics`` record what the machinery did.
     """
 
-    def __init__(self, store: StorageService, threads: int = 4) -> None:
+    def __init__(
+        self,
+        store: StorageService,
+        threads: int = 4,
+        *,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        stats: ResilienceStats | None = None,
+        trace: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
+        seed: int = 2011,
+    ) -> None:
         if threads <= 0:
             raise StorageError("retrieval thread count must be positive")
         self.store = store
         self.threads = threads
+        self.policy = policy
+        self.breaker = breaker
+        self.stats = stats if stats is not None else ResilienceStats()
+        self.trace = trace
+        self.seed = seed
+        self._attempt_hist = (
+            metrics.histogram("attempt_seconds") if metrics else None
+        )
+        self._attempt_counter = (
+            metrics.counter("storage_attempts") if metrics else None
+        )
 
-    def fetch(self, key: str, offset: int, nbytes: int) -> bytes:
-        """Retrieve ``nbytes`` from ``key`` starting at ``offset``."""
-        plans = plan_ranges(offset, nbytes, self.threads)
+    def fetch(
+        self, key: str, offset: int, nbytes: int, *, job_id: int = -1,
+        file_id: int = -1,
+    ) -> bytes:
+        """Retrieve ``nbytes`` from ``key`` starting at ``offset``.
+
+        ``job_id``/``file_id`` are optional context stamped onto any
+        ``retry``/``hedge`` trace events this fetch emits.
+        """
+        parallel = self.threads
+        if self.breaker is not None and self.breaker.open:
+            parallel = 1
+        plans = plan_ranges(offset, nbytes, parallel)
         if not plans:
             return b""
+        if self.policy is None and len(plans) == 1:
+            return self.store.read_range(key, plans[0].offset, plans[0].length)
         if len(plans) == 1:
-            return self.store.get(key, plans[0].offset, plans[0].length)
-        with ThreadPoolExecutor(max_workers=len(plans)) as pool:
-            futures = [
-                pool.submit(self.store.get, key, p.offset, p.length) for p in plans
-            ]
-            parts = [f.result() for f in futures]
+            parts = [self._fetch_range(key, plans[0], job_id, file_id)]
+        else:
+            with ThreadPoolExecutor(max_workers=len(plans)) as pool:
+                futures = [
+                    pool.submit(self._fetch_range, key, p, job_id, file_id)
+                    for p in plans
+                ]
+                parts = [f.result() for f in futures]
         blob = b"".join(parts)
         if len(blob) != nbytes:
             raise StorageError(
                 f"short read on {key!r}: wanted {nbytes} bytes, got {len(blob)}"
             )
         return blob
+
+    # -- per-sub-range machinery -------------------------------------------
+
+    def _fetch_range(
+        self, key: str, plan: RangePlan, job_id: int, file_id: int
+    ) -> bytes:
+        policy = self.policy
+        if policy is None:
+            return self._single_attempt(key, plan)
+        if policy.attempt_timeout is None and policy.hedge_after is None:
+            # Happy path: no clock to keep on the attempt, so take it
+            # inline and pay for the retry machinery (per-range RNG,
+            # closures) only once something actually fails.
+            try:
+                return self._single_attempt(key, plan)
+            except TransientStorageError as exc:
+                return self._retrying_fetch(key, plan, job_id, file_id, exc)
+        return self._retrying_fetch(key, plan, job_id, file_id, None)
+
+    def _retrying_fetch(
+        self,
+        key: str,
+        plan: RangePlan,
+        job_id: int,
+        file_id: int,
+        first_error: TransientStorageError | None,
+    ) -> bytes:
+        # Deterministic per-range RNG (no shared mutable state between
+        # retrieval threads): backoff sequences depend only on the seed
+        # and the range identity.
+        rng = random.Random(
+            (self.seed * 1_000_003)
+            ^ zlib.crc32(key.encode())
+            ^ (plan.offset << 1)
+            ^ plan.length
+        )
+        # A failure from the inline fast-path attempt is replayed as the
+        # first attempt of the loop so retry counting is unchanged.
+        pending = [first_error] if first_error is not None else []
+
+        def attempt() -> bytes:
+            if pending:
+                raise pending.pop()
+            return self._attempt(key, plan, job_id, file_id)
+
+        def on_retry(attempt: int, exc: BaseException, backoff: float) -> None:
+            self.stats.add("retries")
+            if self.trace is not None:
+                self.trace.emit(
+                    "retry", job_id=job_id, file_id=file_id,
+                    detail=f"[{plan.offset},+{plan.length}) attempt {attempt} "
+                    f"{type(exc).__name__}; backoff {backoff * 1e3:.1f}ms",
+                )
+
+        return retry_call(attempt, self.policy, rng, on_retry=on_retry)
+
+    def _single_attempt(self, key: str, plan: RangePlan) -> bytes:
+        """One storage request, instrumented and breaker-accounted."""
+        if self._attempt_counter is not None:
+            self._attempt_counter.inc()
+        started = time.perf_counter()
+        try:
+            data = self.store.read_range(key, plan.offset, plan.length)
+        except BaseException:
+            if self._attempt_hist is not None:
+                self._attempt_hist.observe(time.perf_counter() - started)
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self._attempt_hist is not None:
+            self._attempt_hist.observe(time.perf_counter() - started)
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return data
+
+    def _attempt(
+        self, key: str, plan: RangePlan, job_id: int, file_id: int
+    ) -> bytes:
+        policy = self.policy
+        assert policy is not None
+        if policy.attempt_timeout is None and policy.hedge_after is None:
+            return self._single_attempt(key, plan)
+        return self._raced_attempt(key, plan, job_id, file_id)
+
+    def _raced_attempt(
+        self, key: str, plan: RangePlan, job_id: int, file_id: int
+    ) -> bytes:
+        """One (possibly hedged) attempt with a per-attempt timeout.
+
+        The request runs in a daemon thread so the caller can keep a
+        clock on it. Past ``hedge_after`` a duplicate request is
+        launched; the first success wins and the loser is abandoned
+        (best-effort cancellation — its result is discarded). Past
+        ``attempt_timeout`` the whole attempt is abandoned and reported
+        as transient, handing control back to the retry loop.
+        """
+        policy = self.policy
+        assert policy is not None
+        results: "queue.SimpleQueue[tuple[int, BaseException | None, bytes | None]]"
+        results = queue.SimpleQueue()
+        launched = 0
+
+        def launch() -> None:
+            nonlocal launched
+            index = launched
+            launched += 1
+
+            def runner() -> None:
+                try:
+                    results.put((index, None, self._single_attempt(key, plan)))
+                except BaseException as exc:
+                    results.put((index, exc, None))
+
+            threading.Thread(
+                target=runner, daemon=True,
+                name=f"range-read:{key}:{plan.offset}+{index}",
+            ).start()
+
+        launch()
+        started = time.monotonic()
+        hedged = False
+        failures = 0
+        while True:
+            elapsed = time.monotonic() - started
+            if policy.attempt_timeout is not None and elapsed >= policy.attempt_timeout:
+                self.stats.add("timeouts")
+                raise TransientStorageError(
+                    f"range read {key!r}[{plan.offset},+{plan.length}) "
+                    f"timed out after {policy.attempt_timeout:g}s"
+                )
+            if not hedged and policy.hedge_after is not None and elapsed >= policy.hedge_after:
+                hedged = True
+                launch()
+                self.stats.add("hedges")
+                if self.trace is not None:
+                    self.trace.emit(
+                        "hedge", job_id=job_id, file_id=file_id,
+                        detail=f"[{plan.offset},+{plan.length}) duplicate "
+                        f"after {elapsed * 1e3:.1f}ms",
+                    )
+                continue
+            waits = []
+            if policy.attempt_timeout is not None:
+                waits.append(policy.attempt_timeout - elapsed)
+            if not hedged and policy.hedge_after is not None:
+                waits.append(policy.hedge_after - elapsed)
+            try:
+                index, error, data = results.get(
+                    timeout=min(waits) if waits else None
+                )
+            except queue.Empty:
+                continue
+            if error is None:
+                assert data is not None
+                if index > 0:
+                    self.stats.add("hedge_wins")
+                return data
+            failures += 1
+            if failures >= launched:
+                raise error
+            # A request is still in flight (the hedge or the primary);
+            # keep waiting for it.
