@@ -33,6 +33,8 @@ machinery. See ``examples/quickstart.py`` and ``docs/RESILIENCE.md``.
 """
 
 from .apps import AppBundle, AppProfile, available_apps, make_bundle
+from .cache import CacheStats, ChunkCache, Prefetcher
+from .clock import SYSTEM_CLOCK, FakeClock, SystemClock
 from .bench import (
     env_config,
     figure3_configs,
@@ -68,6 +70,12 @@ __all__ = [
     "AppProfile",
     "available_apps",
     "make_bundle",
+    "CacheStats",
+    "ChunkCache",
+    "Prefetcher",
+    "FakeClock",
+    "SystemClock",
+    "SYSTEM_CLOCK",
     "env_config",
     "figure3_configs",
     "figure4_configs",

@@ -1,0 +1,196 @@
+"""Byte-budgeted, thread-safe LRU cache for chunk bytes.
+
+One :class:`ChunkCache` serves one node: every slave thread on the node
+shares it (they already share one :class:`~repro.data.dataset.DatasetReader`),
+so the budget bounds the node's cache memory regardless of core count.
+Keys are whatever identifies a chunk to the caller — the reader keys by
+``(site, path, offset, nbytes)``; the simulator models the same cache
+with ``(file_id, chunk_index)`` keys and explicit sizes.
+
+Accounting is exact: ``stats.hits + stats.misses`` equals the number of
+``get`` calls, ``bytes_used`` never exceeds ``capacity_bytes`` (an entry
+larger than the whole budget is rejected, not admitted), and
+``bytes_saved`` accumulates the bytes served from cache instead of the
+network — the number the ``bytes_saved`` gauge and
+:class:`~repro.runtime.telemetry.RunTelemetry` surface.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from ..errors import ConfigurationError
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["CacheStats", "ChunkCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/evict accounting, mutated under the owning cache's lock."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+    rejected: int = 0
+    bytes_saved: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "rejected": self.rejected,
+            "bytes_saved": self.bytes_saved,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+
+
+class ChunkCache:
+    """Size-bounded LRU keyed by chunk identity.
+
+    ``trace``/``metrics`` are the usual optional observability hooks:
+    hits, misses and evictions land on the event timeline
+    (``cache_hit``/``cache_miss``/``cache_evict``) and in the metrics
+    registry (counters plus the ``bytes_saved`` and ``cache_bytes``
+    gauges). Both default to off and cost one ``None`` check.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        trace: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"cache capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self.trace = trace
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hit_counter = metrics.counter("cache_hits") if metrics else None
+        self._miss_counter = metrics.counter("cache_misses") if metrics else None
+        self._evict_counter = (
+            metrics.counter("cache_evictions") if metrics else None
+        )
+        self._saved_gauge = metrics.gauge("bytes_saved") if metrics else None
+        self._bytes_gauge = metrics.gauge("cache_bytes") if metrics else None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # -- the cache ----------------------------------------------------------
+
+    def get(
+        self, key: Hashable, *, job_id: int = -1, file_id: int = -1
+    ) -> Any | None:
+        """Return the cached value (refreshing recency), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                saved = None
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.bytes_saved += entry.nbytes
+                saved = self.stats.bytes_saved
+        if entry is None:
+            if self._miss_counter is not None:
+                self._miss_counter.inc()
+            if self.trace is not None:
+                self.trace.emit("cache_miss", job_id=job_id, file_id=file_id)
+            return None
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
+        if self._saved_gauge is not None:
+            self._saved_gauge.set(saved)
+        if self.trace is not None:
+            self.trace.emit(
+                "cache_hit", job_id=job_id, file_id=file_id,
+                detail=f"{entry.nbytes}B",
+            )
+        return entry.value
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        nbytes: int | None = None,
+        *,
+        job_id: int = -1,
+        file_id: int = -1,
+    ) -> int:
+        """Insert ``value`` under ``key``; returns the number of evictions.
+
+        ``nbytes`` defaults to ``len(value)``. A value larger than the
+        entire budget is rejected (counted in ``stats.rejected``) rather
+        than evicting the whole cache for a single un-reusable entry.
+        """
+        if nbytes is None:
+            nbytes = len(value)
+        if nbytes < 0:
+            raise ConfigurationError(f"negative entry size {nbytes}")
+        evicted = 0
+        with self._lock:
+            if nbytes > self.capacity_bytes:
+                self.stats.rejected += 1
+                return 0
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            while self._bytes + nbytes > self.capacity_bytes:
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
+                evicted += 1
+            self._entries[key] = _Entry(value, nbytes)
+            self._bytes += nbytes
+            self.stats.insertions += 1
+            self.stats.evictions += evicted
+            used = self._bytes
+        if self._bytes_gauge is not None:
+            self._bytes_gauge.set(used)
+        if evicted:
+            if self._evict_counter is not None:
+                self._evict_counter.inc(evicted)
+            if self.trace is not None:
+                self.trace.emit(
+                    "cache_evict", job_id=job_id, file_id=file_id,
+                    detail=f"{evicted} entries for {nbytes}B",
+                )
+        return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+        if self._bytes_gauge is not None:
+            self._bytes_gauge.set(0)

@@ -1,0 +1,142 @@
+"""Double-buffered job prefetch for slave workers.
+
+Without prefetch a slave is strictly sequential: request a job, fetch its
+chunk, compute, repeat — retrieval and compute never overlap. A
+:class:`Prefetcher` turns that into a two-stage pipeline. Its background
+thread owns the slave's *next* job: it runs the caller's ``acquire``
+closure (post a ``SlaveJobRequest``, wait for the master's reply), then
+the ``fetch`` closure (cache first, then the multi-threaded retriever),
+and parks the ``(job, bytes)`` pair until the owner asks for it. The
+owning slave thread computes job *N* while the prefetcher acquires and
+fetches job *N+1* — the overlap of "multiple retrieval threads" with
+compute that Section III-B intends.
+
+Ordering matters for liveness: the owner issues :meth:`request` *before*
+computing, and the master answers a request parked on an empty pool only
+once the in-flight job count hits zero — which happens exactly when the
+owner posts its ``SlaveJobDone``. So the pipeline drains itself: the final
+request parks, the final ``done`` releases it with ``None``, and the owner
+exits its loop. Fault tolerance holds because every job the prefetcher is
+handed is recorded against the slave in the master's re-execution ledger,
+and the master cancels parked requests from a slave it has seen fail.
+
+The class is deliberately transport-agnostic (two closures in, a queue
+out) so the cache layer does not depend on the runtime's message types.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+from ..errors import RuntimeProtocolError
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["Prefetcher"]
+
+
+class Prefetcher:
+    """One background acquisition-and-fetch stage per slave worker.
+
+    ``acquire()`` blocks until the master hands out the next job (or
+    ``None`` when the run is over); ``fetch(job)`` returns the job's chunk
+    bytes. Both run on the background thread; any exception they raise is
+    re-delivered to the owner's next :meth:`take`, exactly as the
+    synchronous path would have surfaced it.
+    """
+
+    def __init__(
+        self,
+        acquire: Callable[[], Any],
+        fetch: Callable[[Any], bytes],
+        *,
+        cluster: str = "",
+        worker: int = -1,
+        trace: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._acquire = acquire
+        self._fetch = fetch
+        self.cluster = cluster
+        self.worker = worker
+        self.trace = trace
+        #: Jobs whose bytes were fetched ahead of the owner asking.
+        self.prefetches = 0
+        self._counter = metrics.counter("prefetches") if metrics else None
+        self._commands: "queue.SimpleQueue[bool | None]" = queue.SimpleQueue()
+        self._results: "queue.SimpleQueue[tuple[Any, bytes | None, BaseException | None]]"
+        self._results = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True,
+            name=f"prefetch:{cluster}:{worker}",
+        )
+        self._thread.start()
+
+    def request(self) -> None:
+        """Start acquiring (and fetching) the owner's next job."""
+        self._commands.put(True)
+
+    def take(self, timeout: float | None = None) -> tuple[Any, bytes | None]:
+        """Block until the requested ``(job, bytes)`` pair is ready.
+
+        ``job`` is ``None`` when the master reported the run over. A
+        failure raised in the background re-raises here, on the owner's
+        thread.
+        """
+        try:
+            job, raw, error = self._results.get(timeout=timeout)
+        except queue.Empty:
+            raise RuntimeProtocolError(
+                f"prefetcher for worker {self.worker}: no job within "
+                f"{timeout}s"
+            ) from None
+        if error is not None:
+            raise error
+        return job, raw
+
+    def close(self) -> None:
+        """Stop the background thread (after any stage in flight finishes)."""
+        self._commands.put(None)
+
+    # -- background stage ---------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            command = self._commands.get()
+            if command is None:
+                return
+            try:
+                job = self._acquire()
+            except BaseException as exc:
+                self._results.put((None, None, exc))
+                continue
+            if job is None:
+                self._results.put((None, None, None))
+                continue
+            self.prefetches += 1
+            if self._counter is not None:
+                self._counter.inc()
+            trace = self.trace
+            if trace is not None:
+                trace.emit(
+                    "prefetch", cluster=self.cluster, worker=self.worker,
+                    job_id=job.job_id, file_id=job.file_id,
+                    detail=f"{job.nbytes}B ahead of compute",
+                )
+                trace.emit(
+                    "fetch_start", cluster=self.cluster, worker=self.worker,
+                    job_id=job.job_id, file_id=job.file_id,
+                )
+            try:
+                raw = self._fetch(job)
+            except BaseException as exc:
+                self._results.put((job, None, exc))
+                continue
+            if trace is not None:
+                trace.emit(
+                    "fetch_end", cluster=self.cluster, worker=self.worker,
+                    job_id=job.job_id, file_id=job.file_id,
+                )
+            self._results.put((job, raw, None))

@@ -101,6 +101,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset", help="directory produced by `generate`")
     p.add_argument("--local-cores", type=int, default=2)
     p.add_argument("--cloud-cores", type=int, default=2)
+    p.add_argument(
+        "--cache-bytes", type=int, default=0, metavar="N",
+        help="chunk-cache byte budget for cross-site reads (0 = no cache; "
+        "iterative passes then refetch nothing already seen)",
+    )
+    p.add_argument(
+        "--prefetch", action="store_true",
+        help="overlap each slave's next chunk fetch with its current "
+        "reduction (double-buffered pipeline)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=1, metavar="N",
+        help="run N passes, feeding each result back through the app's "
+        "update() hook (kmeans, pagerank)",
+    )
     _add_fault_args(p)
 
     p = sub.add_parser(
@@ -327,6 +342,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     import numpy as np
 
     from .apps import make_bundle
+    from .cache import ChunkCache
     from .config import CLOUD_SITE, ComputeSpec, LOCAL_SITE
     from .core.index import DataIndex
     from .resilience import FaultInjector
@@ -349,14 +365,34 @@ def _cmd_run(args: argparse.Namespace) -> None:
     spec, policy = _resolve_resilience(args)
     if spec is not None:
         stores = {site: FaultInjector(s, spec) for site, s in stores.items()}
+    if args.iterations < 1:
+        raise ConfigurationError("--iterations must be at least 1")
+    if args.cache_bytes < 0:
+        raise ConfigurationError("--cache-bytes must be non-negative")
+    cache = ChunkCache(args.cache_bytes) if args.cache_bytes > 0 else None
     runtime = CloudBurstingRuntime(
         bundle.app, index, stores,
         ComputeSpec(local_cores=args.local_cores, cloud_cores=args.cloud_cores),
         retry_policy=policy,
+        cache=cache,
+        prefetch=args.prefetch,
     )
-    result = runtime.run()
+    if args.iterations > 1 and not hasattr(bundle.app, "update"):
+        raise ConfigurationError(
+            f"app {meta['app']!r} has no update() hook; --iterations needs "
+            f"an iterative app (kmeans, pagerank)"
+        )
+    wall = 0.0
+    prefetches = 0
+    for i in range(args.iterations):
+        result = runtime.run()
+        wall += result.telemetry.wall_seconds
+        prefetches += result.telemetry.prefetches
+        if args.iterations > 1:
+            bundle.app.update(result.value)  # same contract as run_iterative
     value = result.value
-    print(f"app: {meta['app']}  wall: {result.telemetry.wall_seconds:.3f}s")
+    print(f"app: {meta['app']}  wall: {wall:.3f}s"
+          + (f"  passes: {args.iterations}" if args.iterations > 1 else ""))
     if isinstance(value, np.ndarray):
         print(f"result: ndarray shape={value.shape} "
               f"head={np.asarray(value).ravel()[:4]}")
@@ -369,6 +405,17 @@ def _cmd_run(args: argparse.Namespace) -> None:
     for name, cluster in result.telemetry.clusters.items():
         print(f"{name}: {cluster.jobs} jobs ({cluster.stolen} stolen)")
     t = result.telemetry
+    if cache is not None or args.prefetch:
+        s = cache.stats if cache is not None else None
+        parts = []
+        if s is not None:
+            parts.append(
+                f"cache: {s.hits} hits / {s.misses} misses, "
+                f"{s.bytes_saved} bytes saved, {s.evictions} evictions"
+            )
+        if args.prefetch:
+            parts.append(f"prefetches: {prefetches}")
+        print("  ".join(parts))
     if spec is not None or policy is not None:
         print(
             f"resilience: {t.faults_injected} faults injected, "

@@ -12,9 +12,12 @@ from __future__ import annotations
 import threading
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
+
+if TYPE_CHECKING:  # import cycle: repro.cache type-checks against us
+    from ..cache import ChunkCache
 
 from ..config import CLOUD_SITE, LOCAL_SITE, DatasetSpec, PlacementSpec
 from ..core.index import DataIndex, FileEntry
@@ -118,6 +121,13 @@ class DatasetReader:
     endpoint from parallel to single-stream reads. The reader-wide
     ``resilience`` stats object accumulates what the machinery did across
     every slave sharing this reader.
+
+    ``cache`` is an optional :class:`~repro.cache.ChunkCache`. When set,
+    every *remote* (cross-site) read consults it before touching the
+    network and inserts what it fetched, so iterative runs pay for each
+    remote chunk once per node instead of once per pass. Local reads
+    bypass the cache — the bytes are already a sequential disk read away.
+    With ``cache=None`` (the default) the only cost is one ``None`` check.
     """
 
     index: DataIndex
@@ -128,12 +138,18 @@ class DatasetReader:
     metrics: MetricsRegistry | None = None
     breaker_failure_threshold: int = 8
     breaker_recovery_successes: int = 32
+    cache: "ChunkCache | None" = None
 
     def __post_init__(self) -> None:
         self.resilience = ResilienceStats()
         self._breakers: dict[str, CircuitBreaker] = {}
         self._retrievers: dict[tuple[str, int], ChunkRetriever] = {}
         self._lock = threading.Lock()
+        self._remote_bytes = (
+            self.metrics.counter("remote_bytes")
+            if self.metrics is not None
+            else None
+        )
 
     def breakers(self) -> dict[str, CircuitBreaker]:
         """Per-site circuit breakers created so far (empty without retry)."""
@@ -180,30 +196,50 @@ class DatasetReader:
         if store is None:
             raise DataFormatError(f"no storage service for site {entry.site!r}")
         remote = from_site is not None and from_site != entry.site
-        if remote and self.trace is not None:
-            self.trace.emit(
-                "remote_fetch", job_id=job.job_id, file_id=job.file_id,
-                detail=f"{from_site}<-{entry.site} {job.nbytes}B",
-            )
+        cache = self.cache if remote else None
+        key = None
+        if cache is not None:
+            key = (entry.site, entry.path, job.offset, job.nbytes)
+            cached = cache.get(key, job_id=job.job_id, file_id=job.file_id)
+            if cached is not None:
+                return cached
+        if remote:
+            if self.trace is not None:
+                self.trace.emit(
+                    "remote_fetch", job_id=job.job_id, file_id=job.file_id,
+                    detail=f"{from_site}<-{entry.site} {job.nbytes}B",
+                )
+            if self._remote_bytes is not None:
+                self._remote_bytes.inc(job.nbytes)
         if remote and self.retrieval_threads > 1:
             retriever = self._retriever(entry.site, store, self.retrieval_threads)
-            return retriever.fetch(
+            data = retriever.fetch(
                 entry.path, job.offset, job.nbytes,
                 job_id=job.job_id, file_id=job.file_id,
             )
-        if self.retry is not None:
+        elif self.retry is not None:
             retriever = self._retriever(entry.site, store, 1)
-            return retriever.fetch(
+            data = retriever.fetch(
                 entry.path, job.offset, job.nbytes,
                 job_id=job.job_id, file_id=job.file_id,
             )
-        return store.get(entry.path, job.offset, job.nbytes)
+        else:
+            data = store.get(entry.path, job.offset, job.nbytes)
+        if cache is not None:
+            cache.put(key, data, job_id=job.job_id, file_id=job.file_id)
+        return data
 
-    def read_all_chunks(self) -> list[bytes]:
-        """Every chunk in index order — feeds the serial oracle."""
+    def read_all_chunks(self, *, from_site: str | None = None) -> list[bytes]:
+        """Every chunk in index order — feeds the serial oracle.
+
+        ``from_site`` gives the reads a home site (as :meth:`read_job`
+        takes per job) so a serial pass can treat cross-site chunks as
+        remote — which is what lets an attached ``cache`` serve them on
+        the next pass of an iterative run.
+        """
         out: list[bytes] = []
         for job in self.index.jobs():
-            out.append(self.read_job(job))
+            out.append(self.read_job(job, from_site=from_site))
         return out
 
     def verify_file(self, file_id: int) -> bool:

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
+
+import numpy as np
 
 from .apps import AppBundle, make_bundle
+from .cache import ChunkCache
 from .config import (
     CLOUD_SITE,
     LOCAL_SITE,
@@ -44,7 +47,7 @@ from .obs.events import EventLog
 from .obs.metrics import MetricsRegistry
 from .resilience.faults import FaultInjector, FaultSpec
 from .resilience.retry import RetryPolicy
-from .runtime.driver import CloudBurstingRuntime
+from .runtime.driver import CloudBurstingRuntime, RuntimeResult
 from .runtime.telemetry import RunTelemetry
 from .sim.metrics import SimReport
 from .sim.simulation import CloudBurstSimulation
@@ -73,7 +76,18 @@ class RunConfig:
       path. Defaults to ``RetryPolicy()`` whenever faults are active so a
       chaos run completes out of the box;
     * ``trace`` / ``metrics`` — observability hooks threaded through to
-      whichever engine runs.
+      whichever engine runs;
+    * ``cache_bytes`` — byte budget for a per-node
+      :class:`~repro.cache.ChunkCache`; ``0`` (the default) constructs no
+      cache machinery at all. Remote chunks are then paid for once per
+      node instead of once per pass;
+    * ``prefetch`` — overlap each slave's next fetch with its current
+      reduction (runtime mode only; serial and simulate ignore it);
+    * ``iterations`` / ``converge`` — first-class iterative execution:
+      run the app ``iterations`` passes, calling its ``update`` hook on
+      each intermediate result (kmeans recenters, pagerank re-ranks), and
+      stop early once consecutive results differ by at most ``converge``
+      (max absolute difference for array results).
 
     ``app_params`` is forwarded to the application factory when the app is
     given as a registry key (e.g. ``{"k": 8}`` for knn).
@@ -93,6 +107,10 @@ class RunConfig:
     trace: EventLog | None = None
     metrics: MetricsRegistry | None = None
     app_params: Mapping[str, Any] = field(default_factory=dict)
+    cache_bytes: int = 0
+    prefetch: bool = False
+    iterations: int = 1
+    converge: float | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -103,6 +121,24 @@ class RunConfig:
             object.__setattr__(self, "faults", FaultSpec.parse(self.faults))
         if self.join_timeout <= 0:
             raise ConfigurationError("join_timeout must be positive")
+        if self.cache_bytes < 0:
+            raise ConfigurationError("cache_bytes cannot be negative")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be at least 1")
+        if self.converge is not None and self.converge < 0:
+            raise ConfigurationError("converge tolerance cannot be negative")
+
+    def make_cache(
+        self, *, with_hooks: bool = True
+    ) -> ChunkCache | None:
+        """Build the configured chunk cache, or ``None`` when disabled."""
+        if self.cache_bytes <= 0:
+            return None
+        if with_hooks:
+            return ChunkCache(
+                self.cache_bytes, trace=self.trace, metrics=self.metrics
+            )
+        return ChunkCache(self.cache_bytes)
 
     @property
     def fault_spec(self) -> FaultSpec | None:
@@ -131,7 +167,9 @@ class RunResult:
     simulator models costs, not bytes). ``telemetry`` is filled by serial
     and runtime modes; ``sim_report`` by simulate mode. ``wall_seconds``
     is measured wall-clock for executable modes and the simulated makespan
-    for simulate mode.
+    for simulate mode; for iterative runs both cover every pass.
+    ``passes`` counts the passes actually run (< ``config.iterations``
+    when ``converge`` stopped the run early).
     """
 
     value: Any
@@ -139,6 +177,7 @@ class RunResult:
     wall_seconds: float
     telemetry: RunTelemetry | None = None
     sim_report: SimReport | None = None
+    passes: int = 1
 
 
 def _resolve_bundle(
@@ -178,11 +217,52 @@ def _build_stores(
     return index, stores
 
 
+def _default_distance(a: Any, b: Any) -> float:
+    """Max absolute difference — the convergence metric for array results."""
+    return float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+
+
+def _update_hook(bundle: AppBundle, config: RunConfig) -> Callable[[Any], None]:
+    """The app's between-pass ``update`` hook; required once iterating."""
+    hook = getattr(bundle.app, "update", None)
+    if hook is None:
+        raise ConfigurationError(
+            f"app {bundle.profile.key!r} has no update() hook; iterative "
+            f"execution (iterations={config.iterations}) needs one to feed "
+            f"each pass's result back (kmeans and pagerank define it)"
+        )
+    return hook
+
+
+def _iterate(
+    config: RunConfig, run_pass: Callable[[], Any], update: Callable[[Any], None]
+) -> tuple[Any, int]:
+    """Shared pass loop: run, converge-check, feed back. Returns
+    ``(final_value, passes_run)`` — same contract as
+    :func:`repro.runtime.driver.run_iterative`."""
+    previous: Any = None
+    value: Any = None
+    passes = 0
+    for _ in range(config.iterations):
+        value = run_pass()
+        passes += 1
+        if (
+            config.converge is not None
+            and previous is not None
+            and _default_distance(previous, value) <= config.converge
+        ):
+            break
+        previous = value
+        update(value)
+    return value, passes
+
+
 def _run_serial(
     app: str | AppBundle, dataset: DatasetSpec, config: RunConfig
 ) -> RunResult:
     bundle = _resolve_bundle(app, dataset, config)
     index, stores = _build_stores(bundle, dataset, config)
+    cache = config.make_cache()
     reader = DatasetReader(
         index,
         stores,
@@ -190,13 +270,25 @@ def _run_serial(
         trace=config.trace,
         retry=config.effective_retry,
         metrics=config.metrics,
+        cache=cache,
     )
+    # The cache only engages for cross-site reads; the serial oracle has no
+    # home site, so give it one whenever a cache is configured — cloud-placed
+    # chunks then count as remote and get cached like the runtime's local
+    # cluster would cache them.
+    from_site = LOCAL_SITE if cache is not None else None
+    iterating = config.iterations > 1
+    update = _update_hook(bundle, config) if iterating else (lambda value: None)
+
+    def run_pass() -> Any:
+        return run_serial(
+            bundle.app,
+            reader.read_all_chunks(from_site=from_site),
+            units_per_group=config.tuning.units_per_group,
+        )
+
     started = time.perf_counter()
-    value = run_serial(
-        bundle.app,
-        reader.read_all_chunks(),
-        units_per_group=config.tuning.units_per_group,
-    )
+    value, passes = _iterate(config, run_pass, update)
     wall = time.perf_counter() - started
     telemetry = RunTelemetry(wall_seconds=wall)
     resilience = reader.resilience
@@ -209,8 +301,18 @@ def _run_serial(
         for store in stores.values()
         if isinstance(store, FaultInjector)
     )
+    if cache is not None:
+        stats = cache.stats
+        telemetry.cache_hits = stats.hits
+        telemetry.cache_misses = stats.misses
+        telemetry.cache_evictions = stats.evictions
+        telemetry.bytes_saved = stats.bytes_saved
     return RunResult(
-        value=value, mode="serial", wall_seconds=wall, telemetry=telemetry
+        value=value,
+        mode="serial",
+        wall_seconds=wall,
+        telemetry=telemetry,
+        passes=passes,
     )
 
 
@@ -228,14 +330,30 @@ def _run_simulate(
         seed=config.seed,
     )
     profile = None if isinstance(app, str) else app.profile
-    report = CloudBurstSimulation(
-        experiment, profile=profile, trace=config.trace
-    ).run()
+    # The simulator models costs, not bytes: an iterative run is N passes
+    # over the same placement with the chunk cache carried across passes
+    # (pass 2 of a cached run pays no cross-site transfers). There is no
+    # value to feed back, so no update() hook is involved.
+    cache = config.make_cache()
+    report: SimReport | None = None
+    total_makespan = 0.0
+    hits = misses = 0
+    for _ in range(config.iterations):
+        report = CloudBurstSimulation(
+            experiment, profile=profile, trace=config.trace, cache=cache
+        ).run()
+        total_makespan += report.makespan
+        hits += report.cache_hits
+        misses += report.cache_misses
+    assert report is not None
+    report.cache_hits = hits
+    report.cache_misses = misses
     return RunResult(
         value=None,
         mode="simulate",
-        wall_seconds=report.makespan,
+        wall_seconds=total_makespan,
         sim_report=report,
+        passes=config.iterations,
     )
 
 
@@ -255,13 +373,44 @@ def _run_runtime(
         metrics=config.metrics,
         join_timeout=config.join_timeout,
         retry_policy=config.effective_retry,
+        cache=config.make_cache(),
+        prefetch=config.prefetch,
     )
-    result = runtime.run()
+    iterating = config.iterations > 1
+    update = _update_hook(bundle, config) if iterating else (lambda value: None)
+
+    # Each pass produces its own telemetry; fold the additive counters into
+    # the final pass's record so the result reports whole-run totals.
+    _ADDITIVE = (
+        "retries", "hedges", "hedge_wins", "timeouts", "circuit_opens",
+        "faults_injected", "slaves_failed", "jobs_reexecuted",
+        "cache_hits", "cache_misses", "cache_evictions", "bytes_saved",
+        "prefetches",
+    )
+    totals = {name: 0 for name in _ADDITIVE}
+    total_wall = 0.0
+    last: RuntimeResult | None = None
+
+    def run_pass() -> Any:
+        nonlocal total_wall, last
+        last = runtime.run()
+        total_wall += last.telemetry.wall_seconds
+        for name in _ADDITIVE:
+            totals[name] += getattr(last.telemetry, name)
+        return last.value
+
+    value, passes = _iterate(config, run_pass, update)
+    assert last is not None
+    telemetry = last.telemetry
+    telemetry.wall_seconds = total_wall
+    for name in _ADDITIVE:
+        setattr(telemetry, name, totals[name])
     return RunResult(
-        value=result.value,
+        value=value,
         mode="runtime",
-        wall_seconds=result.telemetry.wall_seconds,
-        telemetry=result.telemetry,
+        wall_seconds=total_wall,
+        telemetry=telemetry,
+        passes=passes,
     )
 
 

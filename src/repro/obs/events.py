@@ -54,6 +54,10 @@ RUNTIME_KINDS = (
     "circuit_open",  # an endpoint degraded to single-stream reads
     "circuit_close",  # a degraded endpoint recovered to parallel reads
     "fault_injected",  # the fault injector perturbed a storage request
+    "cache_hit",  # a remote chunk was served from the node's chunk cache
+    "cache_miss",  # the chunk cache was consulted and had no entry
+    "cache_evict",  # the byte budget forced entries out of the cache
+    "prefetch",  # a slave's prefetcher acquired the next job early
 )
 
 #: The full shared vocabulary.

@@ -19,6 +19,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from ..cache import ChunkCache
 from ..config import ComputeSpec, MiddlewareTuning
 from ..core.api import GeneralizedReductionApp
 from ..core.index import DataIndex
@@ -65,6 +66,8 @@ class CloudBurstingRuntime:
         metrics: MetricsRegistry | None = None,
         join_timeout: float = 600.0,
         retry_policy: RetryPolicy | None = None,
+        cache: ChunkCache | None = None,
+        prefetch: bool = False,
     ) -> None:
         if compute.total_cores <= 0:
             raise ConfigurationError("need at least one core")
@@ -86,6 +89,15 @@ class CloudBurstingRuntime:
         #: Optional :class:`~repro.resilience.RetryPolicy` applied to every
         #: chunk read (retry/backoff, hedging, circuit-breaker degradation).
         self.retry_policy = retry_policy
+        #: Optional node-wide :class:`~repro.cache.ChunkCache` consulted by
+        #: the shared reader before any remote fetch. Owned by the caller
+        #: so it persists across iterative passes (``run()`` builds a
+        #: fresh reader each pass, but the cache survives).
+        self.cache = cache
+        #: Overlap each slave's next fetch with its current reduction via
+        #: a :class:`~repro.cache.Prefetcher`. Off by default: the slave
+        #: loop is the original strictly-sequential one.
+        self.prefetch = prefetch
 
     def run(self) -> RuntimeResult:
         started = time.perf_counter()
@@ -117,7 +129,14 @@ class CloudBurstingRuntime:
             trace=trace,
             retry=self.retry_policy,
             metrics=self.metrics,
+            cache=self.cache,
         )
+        # Cache counters are cumulative across iterative passes (the cache
+        # outlives this run); report this pass's delta, like the injector.
+        cache_before = (0, 0, 0, 0)
+        if self.cache is not None:
+            s = self.cache.stats
+            cache_before = (s.hits, s.misses, s.evictions, s.bytes_saved)
 
         masters: list[MasterNode] = []
         slaves: list[SlaveWorker] = []
@@ -143,6 +162,7 @@ class CloudBurstingRuntime:
                         trace=trace,
                         metrics=self.metrics,
                         take_timeout=self.join_timeout,
+                        prefetch=self.prefetch,
                     )
                 )
                 slave_id += 1
@@ -197,6 +217,14 @@ class CloudBurstingRuntime:
             )
             - faults_before
         )
+        if self.cache is not None:
+            s = self.cache.stats
+            telemetry.cache_hits = s.hits - cache_before[0]
+            telemetry.cache_misses = s.misses - cache_before[1]
+            telemetry.cache_evictions = s.evictions - cache_before[2]
+            telemetry.bytes_saved = s.bytes_saved - cache_before[3]
+        if self.prefetch:
+            telemetry.prefetches = sum(s.prefetches for s in slaves)
 
         if self.metrics is not None:
             registry = self.metrics

@@ -123,6 +123,11 @@ class MasterNode:
         waiting: deque[SlaveJobRequest] = deque()
         robjs: list[SlaveReduction] = []
         expected_robjs = self.num_slaves
+        # Slaves reported dead. A prefetching slave can have a job request
+        # in flight when it crashes; answering it with a job would strand
+        # that job forever (nobody will process it), so requests from dead
+        # slaves — parked or late-arriving — are answered ``None``.
+        dead: set[int] = set()
         # Every job ever handed to each slave: a dead slave's reduction
         # object is lost, so all of this must be re-executed (FREERIDE-style
         # recovery).
@@ -162,6 +167,9 @@ class MasterNode:
         while len(robjs) < expected_robjs:
             message = self.inbox.take(timeout=self.take_timeout)
             if isinstance(message, SlaveJobRequest):
+                if message.slave_id in dead:
+                    message.reply_to.post(SlaveJobReply(None))
+                    continue
                 waiting.append(message)
                 refill()
                 serve_waiting()
@@ -175,6 +183,13 @@ class MasterNode:
             elif isinstance(message, SlaveFailed):
                 expected_robjs -= 1
                 self.slaves_failed += 1
+                dead.add(message.slave_id)
+                for _ in range(len(waiting)):
+                    request = waiting.popleft()
+                    if request.slave_id == message.slave_id:
+                        request.reply_to.post(SlaveJobReply(None))
+                    else:
+                        waiting.append(request)
                 lost = jobs_by_slave.pop(message.slave_id, [])
                 self.pool.requeue(lost)
                 self.jobs_reexecuted += len(lost)

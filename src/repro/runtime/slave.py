@@ -6,6 +6,12 @@ decode into data units, run the local reduction over cache-sized unit
 groups, report completion; when the master answers ``None`` the slave hands
 over its private reduction object and exits. This is the executable
 counterpart of :class:`repro.sim.simnodes.SimSlave`.
+
+With ``prefetch=True`` the job acquisition and chunk fetch move to a
+:class:`~repro.cache.Prefetcher` pipeline stage: while this thread runs
+the reduction over job *N*, the prefetcher is already asking the master
+for job *N+1* and pulling its bytes, so retrieval overlaps compute. The
+default path constructs none of that machinery.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import threading
 
 from typing import Callable
 
+from ..cache import Prefetcher
 from ..core.api import GeneralizedReductionApp
 from ..core.job import Job
 from ..data.dataset import DatasetReader
@@ -49,6 +56,7 @@ class SlaveWorker:
         trace: EventLog | None = None,
         metrics: MetricsRegistry | None = None,
         take_timeout: float = 60.0,
+        prefetch: bool = False,
     ) -> None:
         self.slave_id = slave_id
         self.cluster = cluster
@@ -59,6 +67,10 @@ class SlaveWorker:
         self.units_per_group = units_per_group
         self.fault_hook = fault_hook
         self.trace = trace
+        #: Double-buffer job acquisition + fetch behind compute.
+        self.prefetch = prefetch
+        self.prefetches = 0
+        self._metrics = metrics
         #: Mailbox-receive timeout, threaded from the driver's
         #: ``join_timeout`` so short-deadline fault tests are not pinned
         #: to a hard-coded minute.
@@ -118,6 +130,13 @@ class SlaveWorker:
 
     def _work(self, current: list) -> None:
         robj = self.app.create_reduction_object()
+        if self.prefetch:
+            self._work_pipelined(current, robj)
+        else:
+            self._work_sequential(current, robj)
+        self.master_inbox.post(SlaveReduction(slave_id=self.slave_id, robj=robj))
+
+    def _work_sequential(self, current: list, robj) -> None:
         telemetry = self.telemetry
         trace = self.trace
         while True:
@@ -146,32 +165,88 @@ class SlaveWorker:
                 )
             if self._fetch_hist is not None:
                 self._fetch_hist.observe(telemetry.retrieval.total - before_fetch)
-            if trace is not None:
-                trace.emit(
-                    "compute_start", cluster=self.cluster, worker=self.slave_id,
-                    job_id=job.job_id,
-                )
-            before_compute = telemetry.processing.total
-            with telemetry.processing:
-                units = self.app.decode_chunk(raw)
-                for group in self.app.unit_groups(units, self.units_per_group):
-                    self.app.local_reduction(robj, group)
-            if trace is not None:
-                trace.emit(
-                    "compute_end", cluster=self.cluster, worker=self.slave_id,
-                    job_id=job.job_id,
-                )
-                trace.emit(
-                    "job_done", cluster=self.cluster, worker=self.slave_id,
-                    job_id=job.job_id,
-                )
-            if self._compute_hist is not None:
-                self._compute_hist.observe(
-                    telemetry.processing.total - before_compute
-                )
-            if self._jobs_counter is not None:
-                self._jobs_counter.inc()
-            telemetry.jobs += 1
-            self.master_inbox.post(SlaveJobDone(slave_id=self.slave_id, job=job))
+            self._process(job, raw, robj)
             current[0] = None
-        self.master_inbox.post(SlaveReduction(slave_id=self.slave_id, robj=robj))
+
+    def _work_pipelined(self, current: list, robj) -> None:
+        """Two-stage pipeline: the prefetcher acquires and fetches job
+        *N+1* while this thread reduces job *N*.
+
+        The next request is issued *before* computing the current job,
+        never before reporting it done — the master parks a request on an
+        empty pool until the in-flight count drains, and our own
+        ``SlaveJobDone`` is what drains it, so the pipeline always
+        terminates (the parked final request is answered ``None``).
+        """
+        telemetry = self.telemetry
+        prefetcher = Prefetcher(
+            self._acquire, self._fetch_for_prefetch,
+            cluster=self.cluster, worker=self.slave_id,
+            trace=self.trace, metrics=self._metrics,
+        )
+        try:
+            prefetcher.request()
+            while True:
+                before_fetch = telemetry.retrieval.total
+                # The stopwatch sees only the *blocked* wait: bytes
+                # fetched while we were computing cost nothing here.
+                with telemetry.retrieval:
+                    job, raw = prefetcher.take(timeout=self.take_timeout)
+                if job is None:
+                    break
+                current[0] = job
+                if self.fault_hook is not None:
+                    self.fault_hook(self.slave_id, job)
+                prefetcher.request()
+                if self._fetch_hist is not None:
+                    self._fetch_hist.observe(
+                        telemetry.retrieval.total - before_fetch
+                    )
+                self._process(job, raw, robj)
+                current[0] = None
+        finally:
+            self.prefetches = prefetcher.prefetches
+            prefetcher.close()
+
+    def _acquire(self) -> Job | None:
+        """Prefetcher stage 1: ask the master for the next job (blocking)."""
+        self.master_inbox.post(
+            SlaveJobRequest(slave_id=self.slave_id, reply_to=self.reply)
+        )
+        return self.reply.take(timeout=self.take_timeout).job
+
+    def _fetch_for_prefetch(self, job: Job) -> bytes:
+        """Prefetcher stage 2: pull the chunk's bytes (cache first)."""
+        return self.reader.read_job(job, from_site=self.site)
+
+    def _process(self, job: Job, raw: bytes, robj) -> None:
+        """Decode + local reduction + completion accounting for one job."""
+        telemetry = self.telemetry
+        trace = self.trace
+        if trace is not None:
+            trace.emit(
+                "compute_start", cluster=self.cluster, worker=self.slave_id,
+                job_id=job.job_id,
+            )
+        before_compute = telemetry.processing.total
+        with telemetry.processing:
+            units = self.app.decode_chunk(raw)
+            for group in self.app.unit_groups(units, self.units_per_group):
+                self.app.local_reduction(robj, group)
+        if trace is not None:
+            trace.emit(
+                "compute_end", cluster=self.cluster, worker=self.slave_id,
+                job_id=job.job_id,
+            )
+            trace.emit(
+                "job_done", cluster=self.cluster, worker=self.slave_id,
+                job_id=job.job_id,
+            )
+        if self._compute_hist is not None:
+            self._compute_hist.observe(
+                telemetry.processing.total - before_compute
+            )
+        if self._jobs_counter is not None:
+            self._jobs_counter.inc()
+        telemetry.jobs += 1
+        self.master_inbox.post(SlaveJobDone(slave_id=self.slave_id, job=job))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass, field
+from typing import Callable
 
 from ..errors import DataFormatError
 
@@ -19,19 +20,24 @@ __all__ = ["Stopwatch", "SlaveTelemetry", "ClusterTelemetry", "RunTelemetry"]
 
 
 class Stopwatch:
-    """Accumulating timer: ``with watch: ...`` adds the block's duration."""
+    """Accumulating timer: ``with watch: ...`` adds the block's duration.
 
-    def __init__(self) -> None:
+    ``clock`` is injectable so tests can drive a fake time source instead
+    of sleeping for real (see :mod:`repro.clock`).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.total = 0.0
+        self._clock = clock
         self._started: float | None = None
 
     def __enter__(self) -> "Stopwatch":
-        self._started = time.perf_counter()
+        self._started = self._clock()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         assert self._started is not None
-        self.total += time.perf_counter() - self._started
+        self.total += self._clock() - self._started
         self._started = None
 
 
@@ -96,6 +102,15 @@ class RunTelemetry:
     timeouts: int = 0
     circuit_opens: int = 0
     faults_injected: int = 0
+    #: Chunk-cache and prefetch accounting (see :mod:`repro.cache`):
+    #: filled by the driver when a cache/prefetcher is active; all zero
+    #: otherwise. ``bytes_saved`` counts remote bytes served from cache
+    #: instead of the network.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    bytes_saved: int = 0
+    prefetches: int = 0
     metrics: dict | None = None
 
     @property
@@ -121,6 +136,11 @@ class RunTelemetry:
             "timeouts": self.timeouts,
             "circuit_opens": self.circuit_opens,
             "faults_injected": self.faults_injected,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "bytes_saved": self.bytes_saved,
+            "prefetches": self.prefetches,
             "clusters": {name: asdict(c) for name, c in self.clusters.items()},
             "metrics": self.metrics,
         }
@@ -146,6 +166,11 @@ class RunTelemetry:
                 timeouts=int(doc.get("timeouts", 0)),
                 circuit_opens=int(doc.get("circuit_opens", 0)),
                 faults_injected=int(doc.get("faults_injected", 0)),
+                cache_hits=int(doc.get("cache_hits", 0)),
+                cache_misses=int(doc.get("cache_misses", 0)),
+                cache_evictions=int(doc.get("cache_evictions", 0)),
+                bytes_saved=int(doc.get("bytes_saved", 0)),
+                prefetches=int(doc.get("prefetches", 0)),
                 metrics=doc.get("metrics"),
             )
         except (KeyError, TypeError) as exc:

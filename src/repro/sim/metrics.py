@@ -74,6 +74,10 @@ class SimReport:
     global_reduction: float
     clusters: dict[str, ClusterReport] = field(default_factory=dict)
     events_processed: int = 0
+    #: Modeled chunk-cache accounting (zero unless the simulation was
+    #: given a cache — see :class:`~repro.sim.simulation.CloudBurstSimulation`).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def cluster(self, name: str) -> ClusterReport:
         try:
@@ -109,6 +113,8 @@ class SimReport:
             "makespan": self.makespan,
             "global_reduction": self.global_reduction,
             "events_processed": self.events_processed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "clusters": {name: asdict(c) for name, c in self.clusters.items()},
         }
 
@@ -129,6 +135,8 @@ class SimReport:
                 global_reduction=float(doc["global_reduction"]),
                 clusters=clusters,
                 events_processed=int(doc.get("events_processed", 0)),
+                cache_hits=int(doc.get("cache_hits", 0)),
+                cache_misses=int(doc.get("cache_misses", 0)),
             )
         except (KeyError, TypeError) as exc:
             raise SimulationError(f"malformed report document: {exc}") from exc

@@ -25,8 +25,12 @@ in the paper (env-cloud shows master<->head WAN delays in Section IV-B).
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import TYPE_CHECKING
 
 from ..apps.base import AppProfile, get_profile
+
+if TYPE_CHECKING:
+    from ..cache import ChunkCache
 from ..config import CLOUD_SITE, LOCAL_SITE, ExperimentConfig
 from ..core.index import build_index
 from ..core.job import Job
@@ -56,6 +60,7 @@ class CloudBurstSimulation:
         profile: AppProfile | None = None,
         trace: "TraceRecorder | None" = None,
         static_assignment: bool = False,
+        cache: "ChunkCache | None" = None,
     ) -> None:
         self.config = config
         self.calibration = calibration
@@ -66,6 +71,13 @@ class CloudBurstSimulation:
         #: work stealing and rate-matching — the strategy Section III-B's
         #: pooling design replaces.
         self.static_assignment = static_assignment
+        #: Optional modeled chunk cache (the same LRU the executable
+        #: runtime uses, keyed ``(file_id, chunk_index)`` with explicit
+        #: sizes): a cross-site fetch that hits costs no transfer time,
+        #: matching the runtime's behaviour so an iterative simulated run
+        #: and an executed one agree on which passes touch the network.
+        #: The caller owns it, so it persists across iterative passes.
+        self.cache = cache
 
     # -- wiring ---------------------------------------------------------------
 
@@ -103,7 +115,17 @@ class CloudBurstSimulation:
         index = build_index(config.dataset, config.placement)
         scheduler = HeadScheduler(index.jobs(), config.tuning, seed=config.seed)
 
+        cache = self.cache
+
         def fetch(job: Job, slave_site: str, threads: int) -> Event:
+            # Cross-site chunks go through the modeled node cache exactly
+            # like the runtime's DatasetReader: a hit is a local memory
+            # read (no transfer), a miss pays the network and is inserted.
+            if cache is not None and job.site != slave_site:
+                key = (job.file_id, job.chunk_index)
+                if cache.get(key) is not None:
+                    return env.timeout(0.0)
+                cache.put(key, True, job.nbytes)
             store = stores[(job.site, slave_site)]
             # Multi-threaded retrieval applies whenever the chunk comes off
             # the object store (even "co-located" EC2 slaves GET over the
@@ -228,14 +250,24 @@ class CloudBurstSimulation:
             for master in masters.values():
                 master.close_intake()
 
+        # The cache outlives the run in iterative use; report this pass's
+        # delta, mirroring the executable driver's accounting.
+        cache_before = (0, 0)
+        if cache is not None:
+            cache_before = (cache.stats.hits, cache.stats.misses)
+
         done = env.all_of(cluster_procs)
         env.run(done)
         env.run()  # drain stragglers (acks in flight)
 
-        return self._report(
+        report = self._report(
             env, scheduler, masters, slaves,
             processing_end, combine_done, robj_arrival, merged_at,
         )
+        if cache is not None:
+            report.cache_hits = cache.stats.hits - cache_before[0]
+            report.cache_misses = cache.stats.misses - cache_before[1]
+        return report
 
     # -- reporting ---------------------------------------------------------------
 

@@ -24,12 +24,12 @@ from __future__ import annotations
 
 import queue
 import random
-import threading
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..clock import SYSTEM_CLOCK
 from ..errors import StorageError, TransientStorageError
 from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry
@@ -93,6 +93,7 @@ class ChunkRetriever:
         trace: EventLog | None = None,
         metrics: MetricsRegistry | None = None,
         seed: int = 2011,
+        clock=None,
     ) -> None:
         if threads <= 0:
             raise StorageError("retrieval thread count must be positive")
@@ -103,6 +104,10 @@ class ChunkRetriever:
         self.stats = stats if stats is not None else ResilienceStats()
         self.trace = trace
         self.seed = seed
+        #: Time source for the hedging/timeout race and retry backoff —
+        #: :data:`~repro.clock.SYSTEM_CLOCK` in production, a
+        #: :class:`~repro.clock.FakeClock` in timing tests.
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
         self._attempt_hist = (
             metrics.histogram("attempt_seconds") if metrics else None
         )
@@ -196,7 +201,10 @@ class ChunkRetriever:
                     f"{type(exc).__name__}; backoff {backoff * 1e3:.1f}ms",
                 )
 
-        return retry_call(attempt, self.policy, rng, on_retry=on_retry)
+        return retry_call(
+            attempt, self.policy, rng, on_retry=on_retry,
+            clock=self.clock.monotonic, sleep=self.clock.sleep,
+        )
 
     def _single_attempt(self, key: str, plan: RangePlan) -> bytes:
         """One storage request, instrumented and breaker-accounted."""
@@ -240,6 +248,7 @@ class ChunkRetriever:
         """
         policy = self.policy
         assert policy is not None
+        clock = self.clock
         results: "queue.SimpleQueue[tuple[int, BaseException | None, bytes | None]]"
         results = queue.SimpleQueue()
         launched = 0
@@ -255,17 +264,14 @@ class ChunkRetriever:
                 except BaseException as exc:
                     results.put((index, exc, None))
 
-            threading.Thread(
-                target=runner, daemon=True,
-                name=f"range-read:{key}:{plan.offset}+{index}",
-            ).start()
+            clock.spawn(runner, name=f"range-read:{key}:{plan.offset}+{index}")
 
         launch()
-        started = time.monotonic()
+        started = clock.monotonic()
         hedged = False
         failures = 0
         while True:
-            elapsed = time.monotonic() - started
+            elapsed = clock.monotonic() - started
             if policy.attempt_timeout is not None and elapsed >= policy.attempt_timeout:
                 self.stats.add("timeouts")
                 raise TransientStorageError(
@@ -289,8 +295,8 @@ class ChunkRetriever:
             if not hedged and policy.hedge_after is not None:
                 waits.append(policy.hedge_after - elapsed)
             try:
-                index, error, data = results.get(
-                    timeout=min(waits) if waits else None
+                index, error, data = clock.wait(
+                    results, min(waits) if waits else None
                 )
             except queue.Empty:
                 continue

@@ -1,0 +1,120 @@
+"""Property-based tests for the chunk cache and range planning.
+
+Hypothesis drives arbitrary put/get workloads against
+:class:`~repro.cache.ChunkCache` and arbitrary splits through
+:func:`~repro.storage.retrieval.plan_ranges`, pinning the invariants the
+rest of the stack leans on:
+
+* the cache never holds more bytes than its budget, no matter the
+  insertion order or sizes;
+* every ``get`` is either a hit or a miss — the counters conserve;
+* a value that fits always round-trips immediately after its ``put``;
+* a range plan covers ``[offset, offset+nbytes)`` exactly once, with
+  monotone offsets and at most one byte of size skew between parts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import ChunkCache
+from repro.storage.retrieval import plan_ranges
+
+# Keys are small ints, values are byte strings sized independently of the
+# declared nbytes so the accounting (which trusts nbytes) is what's tested.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get"]),
+        st.integers(0, 15),  # key space small enough to force collisions
+        st.integers(1, 600),  # nbytes
+    ),
+    max_size=80,
+)
+
+
+@settings(deadline=None, max_examples=200)
+@given(capacity=st.integers(1, 1024), ops=_ops)
+def test_cache_never_exceeds_budget(capacity, ops):
+    cache = ChunkCache(capacity)
+    for op, key, nbytes in ops:
+        if op == "put":
+            cache.put(key, b"x", nbytes=nbytes)
+        else:
+            cache.get(key)
+        assert cache.bytes_used <= capacity
+
+
+@settings(deadline=None, max_examples=200)
+@given(capacity=st.integers(1, 1024), ops=_ops)
+def test_cache_hit_miss_conservation(capacity, ops):
+    cache = ChunkCache(capacity)
+    gets = 0
+    for op, key, nbytes in ops:
+        if op == "put":
+            cache.put(key, b"x", nbytes=nbytes)
+        else:
+            gets += 1
+            cache.get(key)
+    assert cache.stats.hits + cache.stats.misses == gets
+    # Every byte the budget holds was inserted and never double-counted.
+    assert cache.stats.insertions >= len(cache)
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    capacity=st.integers(1, 4096),
+    prefill=_ops,
+    key=st.integers(100, 110),  # disjoint from the prefill key space
+    payload=st.binary(min_size=0, max_size=256),
+)
+def test_cache_put_then_get_round_trips(capacity, prefill, key, payload):
+    cache = ChunkCache(capacity)
+    for op, k, nbytes in prefill:
+        if op == "put":
+            cache.put(k, b"x", nbytes=nbytes)
+        else:
+            cache.get(k)
+    nbytes = max(len(payload), 1)
+    cache.put(key, payload, nbytes=nbytes)
+    if nbytes <= capacity:
+        # Fits: the put must stick, and the get must return the very bytes.
+        assert cache.get(key) == payload
+    else:
+        # Oversized entries are rejected outright, never partially stored.
+        assert cache.get(key) is None
+        assert cache.stats.rejected >= 1
+
+
+@settings(deadline=None, max_examples=300)
+@given(
+    offset=st.integers(0, 2**40),
+    nbytes=st.integers(0, 100_000),
+    parts=st.integers(1, 64),
+)
+def test_plan_ranges_exact_coverage(offset, nbytes, parts):
+    plans = plan_ranges(offset, nbytes, parts)
+    # Exact byte coverage: contiguous, starts at offset, ends at offset+nbytes.
+    cursor = offset
+    for plan in plans:
+        assert plan.offset == cursor
+        assert plan.length > 0
+        cursor += plan.length
+    assert cursor == offset + nbytes
+    assert len(plans) == (min(parts, nbytes) if nbytes else 0)
+
+
+@settings(deadline=None, max_examples=300)
+@given(
+    offset=st.integers(0, 2**40),
+    nbytes=st.integers(1, 100_000),
+    parts=st.integers(1, 64),
+)
+def test_plan_ranges_monotone_and_balanced(offset, nbytes, parts):
+    plans = plan_ranges(offset, nbytes, parts)
+    offsets = [p.offset for p in plans]
+    assert offsets == sorted(offsets)
+    sizes = [p.length for p in plans]
+    assert max(sizes) - min(sizes) <= 1  # at most one byte of skew
+    # Larger parts come first (the remainder spreads from the front).
+    assert sizes == sorted(sizes, reverse=True)

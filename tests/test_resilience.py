@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 
 import pytest
 
+from repro.clock import FakeClock
 from repro.errors import (
     ConfigurationError,
     PermanentStorageError,
@@ -417,11 +417,17 @@ def test_retriever_failures_trip_breaker_then_recovery_closes_it():
 
 
 class StragglerStore(ObjectStore):
-    """First read of every range stalls; duplicates return instantly."""
+    """First read of every range stalls; duplicates return instantly.
 
-    def __init__(self, stall: float):
+    The stall sleeps on an injected clock, so under a
+    :class:`~repro.clock.FakeClock` the straggler parks in *virtual*
+    time and the test never actually waits.
+    """
+
+    def __init__(self, stall: float, clock):
         super().__init__()
         self.stall = stall
+        self.clock = clock
         self._seen: set[tuple[str, int, int]] = set()
         self._straggler_lock = threading.Lock()
 
@@ -430,48 +436,51 @@ class StragglerStore(ObjectStore):
             first = (key, offset, nbytes) not in self._seen
             self._seen.add((key, offset, nbytes))
         if first:
-            time.sleep(self.stall)
+            self.clock.sleep(self.stall)
         return super().read_range(key, offset, nbytes)
 
 
 def test_hedged_request_wins_over_straggler():
-    store = StragglerStore(stall=0.5)
-    payload = b"h" * 64
-    store.put("k", payload)
-    stats = ResilienceStats()
-    retriever = ChunkRetriever(
-        store, threads=1,
-        policy=RetryPolicy(
-            base_backoff=0.0, max_backoff=0.0, hedge_after=0.02
-        ),
-        stats=stats,
-    )
-    started = time.perf_counter()
-    assert retriever.fetch("k", 0, 64) == payload
-    elapsed = time.perf_counter() - started
-    assert elapsed < 0.4  # did not wait out the straggler
-    assert stats.hedges == 1
-    assert stats.hedge_wins == 1
+    with FakeClock() as clock:
+        store = StragglerStore(stall=1800.0, clock=clock)
+        payload = b"h" * 64
+        store.put("k", payload)
+        stats = ResilienceStats()
+        retriever = ChunkRetriever(
+            store, threads=1,
+            policy=RetryPolicy(
+                base_backoff=0.0, max_backoff=0.0, hedge_after=2.0
+            ),
+            stats=stats,
+            clock=clock,
+        )
+        assert retriever.fetch("k", 0, 64) == payload
+        # The straggler would have held the fetch for 1800 virtual
+        # seconds; the hedge fired at 2.0 and won immediately.
+        assert clock.monotonic() < 1800.0
+        assert stats.hedges == 1
+        assert stats.hedge_wins == 1
 
 
 def test_attempt_timeout_abandons_hung_request_and_retries():
-    store = StragglerStore(stall=0.5)
-    payload = b"t" * 32
-    store.put("k", payload)
-    stats = ResilienceStats()
-    retriever = ChunkRetriever(
-        store, threads=1,
-        policy=RetryPolicy(
-            max_attempts=3, base_backoff=0.0, max_backoff=0.0,
-            attempt_timeout=0.05,
-        ),
-        stats=stats,
-    )
-    started = time.perf_counter()
-    assert retriever.fetch("k", 0, 32) == payload
-    assert time.perf_counter() - started < 0.4
-    assert stats.timeouts == 1
-    assert stats.retries == 1  # the timed-out attempt was retried
+    with FakeClock() as clock:
+        store = StragglerStore(stall=1800.0, clock=clock)
+        payload = b"t" * 32
+        store.put("k", payload)
+        stats = ResilienceStats()
+        retriever = ChunkRetriever(
+            store, threads=1,
+            policy=RetryPolicy(
+                max_attempts=3, base_backoff=0.0, max_backoff=0.0,
+                attempt_timeout=5.0,
+            ),
+            stats=stats,
+            clock=clock,
+        )
+        assert retriever.fetch("k", 0, 32) == payload
+        assert clock.monotonic() < 1800.0  # never waited out the straggler
+        assert stats.timeouts == 1
+        assert stats.retries == 1  # the timed-out attempt was retried
 
 
 def test_retriever_records_attempt_metrics_and_trace():

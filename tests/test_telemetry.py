@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 import repro.errors as errors
@@ -16,14 +14,15 @@ from repro.runtime.telemetry import (
 
 
 def test_stopwatch_accumulates():
-    watch = Stopwatch()
+    # Injected clock: intervals are exact, no real sleeping.
+    now = [0.0]
+    watch = Stopwatch(clock=lambda: now[0])
     with watch:
-        time.sleep(0.01)
-    first = watch.total
-    assert first >= 0.009
+        now[0] = 0.25
+    assert watch.total == pytest.approx(0.25)
     with watch:
-        time.sleep(0.01)
-    assert watch.total > first
+        now[0] = 1.0
+    assert watch.total == pytest.approx(1.0)
 
 
 def test_cluster_aggregate_means():
