@@ -52,6 +52,7 @@ from .config import (
     PlacementSpec,
 )
 from .core import GeneralizedReductionApp, ReductionObject, run_serial
+from .core.sync import SyncSpec
 from .errors import ReproError
 from .facade import RunConfig, RunResult, run
 from .resilience import (
@@ -90,6 +91,7 @@ __all__ = [
     "PlacementSpec",
     "GeneralizedReductionApp",
     "ReductionObject",
+    "SyncSpec",
     "run_serial",
     "run",
     "RunConfig",

@@ -116,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run N passes, feeding each result back through the app's "
         "update() hook (kmeans, pagerank)",
     )
+    _add_sync_args(p)
     _add_fault_args(p)
 
     p = sub.add_parser(
@@ -169,6 +170,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--env", default="env-50/50", choices=ENV_NAMES)
     p.add_argument("--iterations", type=int, default=10)
     return parser
+
+
+def _add_sync_args(p: argparse.ArgumentParser) -> None:
+    """Global-reduction sync knobs (wire encoding + aggregation topology)."""
+    from .core.sync import TOPOLOGIES
+    from .core.wire import COMPRESSIONS, ENCODINGS
+
+    p.add_argument(
+        "--sync-encoding", default="dense", choices=ENCODINGS,
+        help="reduction-object wire encoding (delta needs --iterations > 1 "
+        "to pay off; auto picks the cheapest per upload)",
+    )
+    p.add_argument(
+        "--sync-compress", default="none", choices=COMPRESSIONS,
+        help="compress reduction-object uploads on the wire",
+    )
+    p.add_argument(
+        "--sync-topology", default="star", choices=TOPOLOGIES,
+        help="aggregation shape for cluster uploads (star = everyone to the "
+        "head; tree/ring relay through other masters)",
+    )
+    p.add_argument(
+        "--sync-stream", action="store_true",
+        help="merge partial reduction objects as they arrive instead of "
+        "behind the end-of-pass barrier",
+    )
+    p.add_argument(
+        "--sync-watermark", type=int, default=8, metavar="N",
+        help="with --sync-stream, slaves flush a partial every N jobs",
+    )
 
 
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
@@ -345,6 +376,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     from .cache import ChunkCache
     from .config import CLOUD_SITE, ComputeSpec, LOCAL_SITE
     from .core.index import DataIndex
+    from .core.sync import SyncSpec
     from .resilience import FaultInjector
     from .runtime.driver import CloudBurstingRuntime
     from .storage.localfs import LocalStorage
@@ -370,12 +402,20 @@ def _cmd_run(args: argparse.Namespace) -> None:
     if args.cache_bytes < 0:
         raise ConfigurationError("--cache-bytes must be non-negative")
     cache = ChunkCache(args.cache_bytes) if args.cache_bytes > 0 else None
+    sync = SyncSpec(
+        topology=args.sync_topology,
+        encoding=args.sync_encoding,
+        compress=args.sync_compress,
+        stream=args.sync_stream,
+        watermark=args.sync_watermark,
+    )
     runtime = CloudBurstingRuntime(
         bundle.app, index, stores,
         ComputeSpec(local_cores=args.local_cores, cloud_cores=args.cloud_cores),
         retry_policy=policy,
         cache=cache,
         prefetch=args.prefetch,
+        sync=sync,
     )
     if args.iterations > 1 and not hasattr(bundle.app, "update"):
         raise ConfigurationError(
@@ -384,10 +424,14 @@ def _cmd_run(args: argparse.Namespace) -> None:
         )
     wall = 0.0
     prefetches = 0
+    sync_sent = sync_saved = sync_partials = 0
     for i in range(args.iterations):
         result = runtime.run()
         wall += result.telemetry.wall_seconds
         prefetches += result.telemetry.prefetches
+        sync_sent += result.telemetry.sync_bytes_sent
+        sync_saved += result.telemetry.sync_bytes_saved
+        sync_partials += result.telemetry.sync_partial_merges
         if args.iterations > 1:
             bundle.app.update(result.value)  # same contract as run_iterative
     value = result.value
@@ -416,6 +460,17 @@ def _cmd_run(args: argparse.Namespace) -> None:
         if args.prefetch:
             parts.append(f"prefetches: {prefetches}")
         print("  ".join(parts))
+    if not sync.is_default:
+        saved_pct = (
+            100.0 * sync_saved / (sync_sent + sync_saved)
+            if sync_sent + sync_saved else 0.0
+        )
+        print(
+            f"sync: {sync.topology}/{sync.encoding}/{sync.compress} "
+            f"sent {sync_sent} wire bytes, saved {sync_saved} "
+            f"({saved_pct:.1f}% off dense), "
+            f"{sync_partials} streamed partial merges"
+        )
     if spec is not None or policy is not None:
         print(
             f"resilience: {t.faults_injected} faults injected, "

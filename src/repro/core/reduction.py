@@ -180,9 +180,13 @@ class DictReduction(ReductionObject):
         self.combiner_name = combiner
         self._combine: Callable[[Any, Any], Any] = get_combiner(combiner)
         self.items: dict[Any, Any] = dict(items) if items else {}
+        #: Memoized pickled size; every mutation invalidates it, so size
+        #: accounting is O(bytes) once per change burst instead of per call.
+        self._nbytes_cache: int | None = None
 
     def add(self, key: Any, value: Any) -> None:
         """Fold one ``(key, value)`` pair into the object."""
+        self._nbytes_cache = None
         if key in self.items:
             self.items[key] = self._combine(self.items[key], value)
         else:
@@ -202,8 +206,13 @@ class DictReduction(ReductionObject):
         return DictReduction(self.combiner_name)
 
     def nbytes(self) -> int:
-        # Cheap estimate: pickled size is what would cross the wire.
-        return len(pickle.dumps(self.items, protocol=pickle.HIGHEST_PROTOCOL))
+        # The estimate is the pickled size (what would cross the wire),
+        # which is O(bytes) to compute — cache it between mutations.
+        if self._nbytes_cache is None:
+            self._nbytes_cache = len(
+                pickle.dumps(self.items, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        return self._nbytes_cache
 
     def value(self) -> dict[Any, Any]:
         return self.items

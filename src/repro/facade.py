@@ -41,6 +41,7 @@ from .config import (
     PlacementSpec,
 )
 from .core.api import run_serial
+from .core.sync import SyncSpec
 from .data.dataset import DatasetReader, build_dataset
 from .errors import ConfigurationError
 from .obs.events import EventLog
@@ -87,7 +88,18 @@ class RunConfig:
       run the app ``iterations`` passes, calling its ``update`` hook on
       each intermediate result (kmeans recenters, pagerank re-ranks), and
       stop early once consecutive results differ by at most ``converge``
-      (max absolute difference for array results).
+      (max absolute difference for array results);
+    * ``sync_*`` — the global-reduction WAN levers
+      (:mod:`repro.core.sync`). ``sync_encoding``
+      (``dense``/``sparse``/``delta``/``auto``) and ``sync_compress``
+      (``none``/``zlib``/``lz4``) shrink each upload on the wire;
+      ``sync_topology`` (``star``/``tree``/``ring``) aggregates through
+      intermediate masters instead of all-to-head; ``sync_stream`` merges
+      slave partials every ``sync_watermark`` jobs instead of behind the
+      barrier. The defaults reproduce the paper's star/dense/barrier path
+      with zero new machinery. Runtime mode executes all of it; simulate
+      mode models topology and streaming, charging encoded uploads
+      ``sync_ratio`` of their dense bytes.
 
     ``app_params`` is forwarded to the application factory when the app is
     given as a registry key (e.g. ``{"k": 8}`` for knn).
@@ -111,6 +123,13 @@ class RunConfig:
     prefetch: bool = False
     iterations: int = 1
     converge: float | None = None
+    sync_encoding: str = "dense"
+    sync_compress: str = "none"
+    sync_topology: str = "star"
+    sync_stream: bool = False
+    sync_watermark: int = 8
+    sync_fanout: int = 2
+    sync_ratio: float = 1.0
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -127,6 +146,17 @@ class RunConfig:
             raise ConfigurationError("iterations must be at least 1")
         if self.converge is not None and self.converge < 0:
             raise ConfigurationError("converge tolerance cannot be negative")
+        # Build once to validate every sync knob (raises ConfigurationError
+        # on a bad value); the result is cheap to reconstruct on demand.
+        SyncSpec(
+            topology=self.sync_topology,
+            encoding=self.sync_encoding,
+            compress=self.sync_compress,
+            stream=self.sync_stream,
+            watermark=self.sync_watermark,
+            fanout=self.sync_fanout,
+            sim_ratio=self.sync_ratio,
+        )
 
     def make_cache(
         self, *, with_hooks: bool = True
@@ -147,6 +177,21 @@ class RunConfig:
         if spec is None or not spec.active:
             return None
         return spec
+
+    @property
+    def sync_spec(self) -> SyncSpec | None:
+        """The configured sync plan, or ``None`` when every knob is at the
+        legacy star/dense/barrier default (no sync machinery is built)."""
+        spec = SyncSpec(
+            topology=self.sync_topology,
+            encoding=self.sync_encoding,
+            compress=self.sync_compress,
+            stream=self.sync_stream,
+            watermark=self.sync_watermark,
+            fanout=self.sync_fanout,
+            sim_ratio=self.sync_ratio,
+        )
+        return None if spec.is_default else spec
 
     @property
     def effective_retry(self) -> RetryPolicy | None:
@@ -338,10 +383,15 @@ def _run_simulate(
     report: SimReport | None = None
     total_makespan = 0.0
     hits = misses = 0
+    sim = CloudBurstSimulation(
+        experiment,
+        profile=profile,
+        trace=config.trace,
+        cache=cache,
+        sync=config.sync_spec,
+    )
     for _ in range(config.iterations):
-        report = CloudBurstSimulation(
-            experiment, profile=profile, trace=config.trace, cache=cache
-        ).run()
+        report = sim.run()
         total_makespan += report.makespan
         hits += report.cache_hits
         misses += report.cache_misses
@@ -375,6 +425,7 @@ def _run_runtime(
         retry_policy=config.effective_retry,
         cache=config.make_cache(),
         prefetch=config.prefetch,
+        sync=config.sync_spec,
     )
     iterating = config.iterations > 1
     update = _update_hook(bundle, config) if iterating else (lambda value: None)
@@ -385,7 +436,8 @@ def _run_runtime(
         "retries", "hedges", "hedge_wins", "timeouts", "circuit_opens",
         "faults_injected", "slaves_failed", "jobs_reexecuted",
         "cache_hits", "cache_misses", "cache_evictions", "bytes_saved",
-        "prefetches",
+        "prefetches", "sync_uploads", "sync_bytes_sent", "sync_bytes_saved",
+        "sync_partial_merges",
     )
     totals = {name: 0 for name in _ADDITIVE}
     total_wall = 0.0

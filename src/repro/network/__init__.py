@@ -1,12 +1,18 @@
 """Network substrate: topology description and transfer cost models."""
 
 from .topology import Link, Topology
-from .transfer import message_time, parallel_transfer_time, transfer_time
+from .transfer import (
+    message_time,
+    parallel_transfer_time,
+    sync_aggregation_time,
+    transfer_time,
+)
 
 __all__ = [
     "Link",
     "Topology",
     "message_time",
     "parallel_transfer_time",
+    "sync_aggregation_time",
     "transfer_time",
 ]

@@ -8,10 +8,18 @@ that pin the dynamic model against the closed form in steady state.
 
 from __future__ import annotations
 
+from collections import Counter
+
+from ..core.sync import build_sync_plan
 from ..errors import ConfigurationError
 from .topology import Link
 
-__all__ = ["transfer_time", "message_time", "parallel_transfer_time"]
+__all__ = [
+    "transfer_time",
+    "message_time",
+    "parallel_transfer_time",
+    "sync_aggregation_time",
+]
 
 
 def transfer_time(link: Link, nbytes: int, *, concurrent_flows: int = 1) -> float:
@@ -42,3 +50,59 @@ def parallel_transfer_time(link: Link, nbytes: int, connections: int) -> float:
     if link.per_flow_cap is not None:
         aggregate = min(aggregate, connections * link.per_flow_cap)
     return link.latency + nbytes / aggregate
+
+
+def sync_aggregation_time(
+    link: Link,
+    nbytes: int,
+    clusters: int,
+    *,
+    merge_seconds: float = 0.0,
+    topology: str = "star",
+    fanout: int = 2,
+) -> float:
+    """Closed-form end-of-pass sync estimate for ``clusters`` masters
+    shipping ``nbytes`` reduction objects over one shared ``link``.
+
+    The aggregation plan (:func:`repro.core.sync.build_sync_plan`) is
+    walked level by level, deepest first: every cluster at a level ships
+    concurrently (sharing the link fairly), then each receiving parent
+    merges its arrivals serially at ``merge_seconds`` apiece. Under
+    ``star`` this degenerates to one n-way shared transfer plus n head
+    merges; under ``ring`` to n sequential single-flow hops; ``tree``
+    sits in between, trading a ~log(n) hop chain for never putting more
+    than a level's worth of flows on the trunk at once.
+
+    This deliberately ignores compute overlap and site asymmetry — it is
+    the steady-state bound the dynamic simulator is pinned against, and
+    the narration baseline for ``benchmarks/bench_sync.py``.
+    """
+    if nbytes < 0:
+        raise ConfigurationError("cannot transfer a negative byte count")
+    if clusters <= 0:
+        raise ConfigurationError("cluster count must be positive")
+    if merge_seconds < 0:
+        raise ConfigurationError("merge time must be non-negative")
+    plan = build_sync_plan(
+        [f"c{i}" for i in range(clusters)], topology, fanout=fanout
+    )
+    depth: dict[str, int] = {}
+
+    def walk(name: str) -> int:
+        if name not in depth:
+            parent = plan[name].parent
+            depth[name] = 1 if parent is None else walk(parent) + 1
+        return depth[name]
+
+    levels: dict[int, list[str]] = {}
+    for name in plan:
+        levels.setdefault(walk(name), []).append(name)
+    total = 0.0
+    for d in sorted(levels, reverse=True):
+        senders = levels[d]
+        total += transfer_time(link, nbytes, concurrent_flows=len(senders))
+        # Parents merge their arrivals serially; parallel across parents
+        # (``None`` = the head node itself).
+        fan_in = Counter(plan[name].parent for name in senders)
+        total += max(fan_in.values()) * merge_seconds
+    return total

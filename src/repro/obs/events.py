@@ -58,6 +58,9 @@ RUNTIME_KINDS = (
     "cache_miss",  # the chunk cache was consulted and had no entry
     "cache_evict",  # the byte budget forced entries out of the cache
     "prefetch",  # a slave's prefetcher acquired the next job early
+    "sync_partial",  # a slave flushed a partial reduction object mid-run
+    "sync_upload",  # a master shipped its (tree/ring) contribution upward
+    "sync_merge",  # an aggregation point folded in an arriving upload
 )
 
 #: The full shared vocabulary.

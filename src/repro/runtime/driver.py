@@ -25,6 +25,7 @@ from ..core.api import GeneralizedReductionApp
 from ..core.index import DataIndex
 from ..core.reduction import from_bytes
 from ..core.scheduler import HeadScheduler
+from ..core.sync import SyncCodec, SyncSpec, build_sync_plan, plan_roots
 from ..data.dataset import DatasetReader
 from ..errors import ConfigurationError, RuntimeTimeoutError
 from ..obs.events import EventLog
@@ -32,8 +33,8 @@ from ..obs.metrics import MetricsRegistry
 from ..resilience.faults import FaultInjector
 from ..resilience.retry import RetryPolicy
 from ..storage.base import StorageService
-from .head import HeadNode
-from .master import MasterNode
+from .head import HeadNode, HeadSync
+from .master import MasterNode, MasterSync
 from .slave import SlaveWorker
 from .telemetry import ClusterTelemetry, RunTelemetry
 
@@ -68,6 +69,7 @@ class CloudBurstingRuntime:
         retry_policy: RetryPolicy | None = None,
         cache: ChunkCache | None = None,
         prefetch: bool = False,
+        sync: SyncSpec | None = None,
     ) -> None:
         if compute.total_cores <= 0:
             raise ConfigurationError("need at least one core")
@@ -98,6 +100,14 @@ class CloudBurstingRuntime:
         #: a :class:`~repro.cache.Prefetcher`. Off by default: the slave
         #: loop is the original strictly-sequential one.
         self.prefetch = prefetch
+        #: Global-reduction sync plan (:class:`~repro.core.sync.SyncSpec`).
+        #: A default spec is indistinguishable from ``None``: the original
+        #: star/dense/barrier path runs with zero sync machinery. The
+        #: codec (and its delta baselines) is owned here so it persists
+        #: across iterative passes — that persistence is what makes
+        #: pass-N delta uploads tiny.
+        self.sync = None if sync is None or sync.is_default else sync
+        self._sync_codec = SyncCodec(self.sync) if self.sync is not None else None
 
     def run(self) -> RuntimeResult:
         started = time.perf_counter()
@@ -119,8 +129,21 @@ class CloudBurstingRuntime:
         for name, site in zip(cluster_names, sites):
             scheduler.register_cluster(name, site)
 
+        spec = self.sync
+        codec = self._sync_codec
+        plan = (
+            build_sync_plan(cluster_names, spec.topology, fanout=spec.fanout)
+            if spec is not None
+            else None
+        )
+        head_sync = None
+        if spec is not None and plan is not None and codec is not None:
+            head_sync = HeadSync(
+                codec=codec, roots=tuple(plan_roots(plan)), stream=spec.stream
+            )
         head = HeadNode(
-            scheduler, cluster_names, trace=trace, take_timeout=self.join_timeout
+            scheduler, cluster_names, trace=trace, take_timeout=self.join_timeout,
+            sync=head_sync,
         )
         reader = DatasetReader(
             self.index,
@@ -137,17 +160,41 @@ class CloudBurstingRuntime:
         if self.cache is not None:
             s = self.cache.stats
             cache_before = (s.hits, s.misses, s.evictions, s.bytes_saved)
+        # Codec accounting is likewise cumulative (baselines and stats
+        # persist so deltas stay small across passes); report the delta.
+        sync_before = (0, 0, 0)
+        if codec is not None:
+            st = codec.stats
+            sync_before = (st.uploads, st.wire_bytes, st.dense_bytes)
 
         masters: list[MasterNode] = []
+        masters_by_name: dict[str, MasterNode] = {}
         slaves: list[SlaveWorker] = []
         slave_id = 0
         for name, site in zip(cluster_names, sites):
             cores = self.compute.cores_at(site)
+            master_sync = None
+            if spec is not None and plan is not None and codec is not None:
+                node = plan[name]
+                # Heap indexing guarantees a parent's index precedes its
+                # children's, so the parent master already exists here.
+                parent_inbox = (
+                    head.inbox
+                    if node.parent is None
+                    else masters_by_name[node.parent].inbox
+                )
+                master_sync = MasterSync(
+                    codec=codec,
+                    parent_inbox=parent_inbox,
+                    children=node.children,
+                    stream=spec.stream,
+                )
             master = MasterNode(
                 name, site, head.inbox, cores, self.tuning, trace=trace,
-                take_timeout=self.join_timeout,
+                take_timeout=self.join_timeout, sync=master_sync,
             )
             masters.append(master)
+            masters_by_name[name] = master
             for _ in range(cores):
                 slaves.append(
                     SlaveWorker(
@@ -163,6 +210,9 @@ class CloudBurstingRuntime:
                         metrics=self.metrics,
                         take_timeout=self.join_timeout,
                         prefetch=self.prefetch,
+                        sync_watermark=(
+                            spec.watermark if spec is not None and spec.stream else 0
+                        ),
                     )
                 )
                 slave_id += 1
@@ -225,6 +275,14 @@ class CloudBurstingRuntime:
             telemetry.bytes_saved = s.bytes_saved - cache_before[3]
         if self.prefetch:
             telemetry.prefetches = sum(s.prefetches for s in slaves)
+        if codec is not None:
+            st = codec.stats
+            telemetry.sync_uploads = st.uploads - sync_before[0]
+            telemetry.sync_bytes_sent = st.wire_bytes - sync_before[1]
+            telemetry.sync_bytes_saved = (
+                st.dense_bytes - sync_before[2]
+            ) - telemetry.sync_bytes_sent
+            telemetry.sync_partial_merges = sum(m.sync_partials for m in masters)
 
         if self.metrics is not None:
             registry = self.metrics
@@ -238,6 +296,13 @@ class CloudBurstingRuntime:
             registry.counter("hedges").inc(telemetry.hedges)
             registry.counter("circuit_opens").inc(telemetry.circuit_opens)
             registry.counter("faults_injected").inc(telemetry.faults_injected)
+            if codec is not None:
+                registry.counter("sync_uploads").inc(telemetry.sync_uploads)
+                registry.counter("sync_bytes_sent").inc(telemetry.sync_bytes_sent)
+                registry.counter("sync_bytes_saved").inc(telemetry.sync_bytes_saved)
+                registry.counter("sync_partial_merges").inc(
+                    telemetry.sync_partial_merges
+                )
             registry.gauge("workers").set(len(slaves))
             registry.gauge("clusters").set(len(masters))
             telemetry.metrics = registry.snapshot()

@@ -10,15 +10,29 @@ publish the final object.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 
+from ..clock import SYSTEM_CLOCK
 from ..core.reduction import ReductionObject, from_bytes
 from ..core.scheduler import HeadScheduler
+from ..core.sync import SyncCodec
 from ..errors import RuntimeProtocolError, RuntimeTimeoutError
 from ..obs.events import EventLog
 from .messages import GroupComplete, HeadResult, JobReply, JobRequest, ReductionUpload
 from .transport import Mailbox
 
-__all__ = ["HeadNode"]
+__all__ = ["HeadSync", "HeadNode"]
+
+
+@dataclass(frozen=True)
+class HeadSync:
+    """The head's slice of the sync plan: which clusters upload directly
+    (the plan roots — all of them under star, fewer under tree/ring) and
+    whether to merge on arrival (``stream``) or behind the barrier."""
+
+    codec: SyncCodec
+    roots: tuple[str, ...]
+    stream: bool = False
 
 
 class HeadNode:
@@ -32,12 +46,18 @@ class HeadNode:
         mailbox: Mailbox | None = None,
         trace: EventLog | None = None,
         take_timeout: float = 60.0,
+        clock=None,
+        sync: HeadSync | None = None,
     ) -> None:
         if not expected_clusters:
             raise RuntimeProtocolError("head needs at least one cluster")
         self.scheduler = scheduler
         self.expected = list(expected_clusters)
         self.trace = trace
+        #: Timing source for the global-reduction stopwatch — injectable
+        #: so tests can pin it (:class:`repro.clock.FakeClock`).
+        self.clock = clock or SYSTEM_CLOCK
+        self.sync = sync
         #: Mailbox-receive timeout, threaded from the driver's ``join_timeout``.
         self.take_timeout = take_timeout
         self.inbox = mailbox or Mailbox("head")
@@ -75,10 +95,16 @@ class HeadNode:
             self._failure = exc
 
     def _serve(self) -> None:
-        import time
-
+        sync = self.sync
+        stream = sync is not None and sync.stream
+        # Under tree/ring aggregation only the plan roots reach the head;
+        # their uploads carry ``origins`` proving descendant coverage.
+        uploaders = list(sync.roots) if sync is not None else self.expected
+        clock = self.clock
         uploads: dict[str, ReductionObject] = {}
-        while len(uploads) < len(self.expected):
+        covered: set[str] = set()
+        merged: ReductionObject | None = None
+        while len(uploads) < len(uploaders):
             message = self.inbox.take(timeout=self.take_timeout)
             if isinstance(message, JobRequest):
                 group = self.scheduler.request_jobs(message.cluster, message.max_jobs)
@@ -95,27 +121,47 @@ class HeadNode:
                     raise RuntimeProtocolError(
                         f"cluster {message.cluster!r} uploaded twice"
                     )
-                if message.cluster not in self.expected:
+                if message.cluster not in uploaders:
                     raise RuntimeProtocolError(
                         f"upload from unknown cluster {message.cluster!r}"
                     )
-                uploads[message.cluster] = from_bytes(message.blob)
+                if sync is not None:
+                    robj = sync.codec.decode(message.cluster, message.blob)
+                else:
+                    robj = from_bytes(message.blob)
+                covered.update(message.covered)
+                uploads[message.cluster] = robj
+                if stream:
+                    started = clock.monotonic()
+                    if merged is None:
+                        merged = robj.clone_empty()
+                    merged.merge(robj)
+                    self.global_reduction_seconds += clock.monotonic() - started
+                    if self.trace is not None:
+                        self.trace.emit("merge_done", cluster=message.cluster)
             else:
                 raise RuntimeProtocolError(
                     f"head received unexpected message {type(message).__name__}"
                 )
-        # Global reduction: merge in registration order for determinism.
-        started = time.perf_counter()
-        merged: ReductionObject | None = None
-        for cluster in self.expected:
-            robj = uploads[cluster]
-            if merged is None:
-                merged = robj.clone_empty()
-            merged.merge(robj)
-            if self.trace is not None:
-                self.trace.emit("merge_done", cluster=cluster)
+        if covered != set(self.expected):
+            missing = sorted(set(self.expected) - covered)
+            extra = sorted(covered - set(self.expected))
+            raise RuntimeProtocolError(
+                f"global reduction coverage mismatch: missing {missing}, "
+                f"unknown {extra}"
+            )
+        if merged is None:
+            # Barrier: merge in plan order for determinism.
+            started = clock.monotonic()
+            for cluster in uploaders:
+                robj = uploads[cluster]
+                if merged is None:
+                    merged = robj.clone_empty()
+                merged.merge(robj)
+                if self.trace is not None:
+                    self.trace.emit("merge_done", cluster=cluster)
+            self.global_reduction_seconds = clock.monotonic() - started
         assert merged is not None
-        self.global_reduction_seconds = time.perf_counter() - started
         self.result = HeadResult(
             blob=merged.to_bytes(), clusters_reported=tuple(self.expected)
         )

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from dataclasses import dataclass
 
 from ..config import MiddlewareTuning
 from ..core.jobpool import JobPool
-from ..core.reduction import merge_all
+from ..core.reduction import ReductionObject, merge_all
+from ..core.sync import SyncCodec
 from ..errors import RuntimeProtocolError
 from ..obs.events import EventLog
 from .messages import (
@@ -29,7 +31,24 @@ from .messages import (
 )
 from .transport import Mailbox
 
-__all__ = ["MasterNode"]
+__all__ = ["MasterSync", "MasterNode"]
+
+
+@dataclass(frozen=True)
+class MasterSync:
+    """This master's slice of the global-reduction sync plan.
+
+    ``parent_inbox`` is where the combined object goes — another master's
+    inbox in tree/ring layouts, the head's for plan roots. ``children``
+    are the clusters whose :class:`ReductionUpload` this master must fold
+    in before shipping its own. ``stream`` turns on merge-on-arrival for
+    slave partials and child uploads instead of the barrier.
+    """
+
+    codec: SyncCodec
+    parent_inbox: Mailbox
+    children: tuple[str, ...] = ()
+    stream: bool = False
 
 
 class MasterNode:
@@ -45,6 +64,7 @@ class MasterNode:
         *,
         trace: EventLog | None = None,
         take_timeout: float = 60.0,
+        sync: MasterSync | None = None,
     ) -> None:
         if num_slaves <= 0:
             raise RuntimeProtocolError("a cluster needs at least one slave")
@@ -64,6 +84,11 @@ class MasterNode:
         self.combine_seconds = 0.0
         self.slaves_failed = 0
         self.jobs_reexecuted = 0
+        self.sync = sync
+        self.sync_partials = 0
+        self.sync_child_uploads = 0
+        self.sync_wire_bytes = 0
+        self.sync_dense_bytes = 0
         self._thread: threading.Thread | None = None
         self._failure: BaseException | None = None
 
@@ -123,6 +148,16 @@ class MasterNode:
         waiting: deque[SlaveJobRequest] = deque()
         robjs: list[SlaveReduction] = []
         expected_robjs = self.num_slaves
+        sync = self.sync
+        stream = sync is not None and sync.stream
+        expected_children = len(sync.children) if sync is not None else 0
+        # Streamed slave partials (and, in stream mode, child uploads)
+        # are folded on arrival into one accumulator; barrier-mode child
+        # uploads are held and merged in plan order for determinism.
+        stream_acc: ReductionObject | None = None
+        child_robjs: dict[str, ReductionObject] = {}
+        child_origins: list[str] = []
+        children_seen = 0
         # Slaves reported dead. A prefetching slave can have a job request
         # in flight when it crashes; answering it with a job would strand
         # that job forever (nobody will process it), so requests from dead
@@ -164,7 +199,7 @@ class MasterNode:
                 jobs_by_slave.setdefault(request.slave_id, []).append(job)
                 request.reply_to.post(SlaveJobReply(job))
 
-        while len(robjs) < expected_robjs:
+        while len(robjs) < expected_robjs or children_seen < expected_children:
             message = self.inbox.take(timeout=self.take_timeout)
             if isinstance(message, SlaveJobRequest):
                 if message.slave_id in dead:
@@ -211,20 +246,94 @@ class MasterNode:
                     )
                 serve_waiting()  # recovered jobs wake parked slaves
             elif isinstance(message, SlaveReduction):
-                robjs.append(message)
+                if message.job_ids and message.slave_id in jobs_by_slave:
+                    # These jobs' contribution is now safe in the delivered
+                    # object — never re-execute them for this slave.
+                    committed = set(message.job_ids)
+                    jobs_by_slave[message.slave_id] = [
+                        job
+                        for job in jobs_by_slave[message.slave_id]
+                        if job.job_id not in committed
+                    ]
+                if message.partial:
+                    self.sync_partials += 1
+                    started = time.perf_counter()
+                    if stream_acc is None:
+                        stream_acc = message.robj
+                    else:
+                        stream_acc.merge(message.robj)
+                    self.combine_seconds += time.perf_counter() - started
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "sync_merge", cluster=self.name,
+                            worker=message.slave_id,
+                            detail=f"partial of {len(message.job_ids)} jobs",
+                        )
+                else:
+                    robjs.append(message)
+            elif isinstance(message, ReductionUpload):
+                if sync is None or message.cluster not in sync.children:
+                    raise RuntimeProtocolError(
+                        f"master {self.name!r} received an unexpected upload "
+                        f"from {message.cluster!r}"
+                    )
+                children_seen += 1
+                self.sync_child_uploads += 1
+                decoded = sync.codec.decode(message.cluster, message.blob)
+                child_origins.extend(message.covered)
+                if stream:
+                    started = time.perf_counter()
+                    if stream_acc is None:
+                        stream_acc = decoded
+                    else:
+                        stream_acc.merge(decoded)
+                    self.combine_seconds += time.perf_counter() - started
+                else:
+                    child_robjs[message.cluster] = decoded
+                if self.trace is not None:
+                    self.trace.emit(
+                        "sync_merge", cluster=self.name,
+                        detail=f"upload from {message.cluster}",
+                    )
             else:
                 raise RuntimeProtocolError(
                     f"master {self.name!r} received {type(message).__name__}"
                 )
-        # Intra-cluster combine, then upload to the head.
+        # Intra-cluster combine (plus any tree/ring child contributions),
+        # then upload to the parent aggregation point.
         started = time.perf_counter()
-        combined = merge_all(sorted_robjs(robjs))
-        self.combine_seconds = time.perf_counter() - started
+        parts: list[ReductionObject] = sorted_robjs(robjs)
+        if stream_acc is not None:
+            parts = [stream_acc, *parts]
+        if sync is not None and not stream:
+            parts += [child_robjs[name] for name in sync.children]
+        combined = merge_all(parts)
+        self.combine_seconds += time.perf_counter() - started
         if self.trace is not None:
             self.trace.emit("combine_done", cluster=self.name)
-        self.head_inbox.post(
-            ReductionUpload(cluster=self.name, blob=combined.to_bytes())
-        )
+        if sync is None:
+            self.head_inbox.post(
+                ReductionUpload(cluster=self.name, blob=combined.to_bytes())
+            )
+        else:
+            encoded = sync.codec.encode(self.name, combined)
+            self.sync_wire_bytes += len(encoded.blob)
+            self.sync_dense_bytes += len(encoded.dense)
+            if self.trace is not None:
+                self.trace.emit(
+                    "sync_upload", cluster=self.name,
+                    detail=(
+                        f"{encoded.encoding}+{encoded.compression} "
+                        f"{len(encoded.blob)}/{len(encoded.dense)}B"
+                    ),
+                )
+            sync.parent_inbox.post(
+                ReductionUpload(
+                    cluster=self.name,
+                    blob=encoded.blob,
+                    origins=(self.name, *child_origins),
+                )
+            )
         if self.trace is not None:
             self.trace.emit("robj_sent", cluster=self.name)
 

@@ -60,10 +60,23 @@ class GroupComplete:
 
 @dataclass(frozen=True)
 class ReductionUpload:
-    """A master ships its cluster's combined reduction object (serialized)."""
+    """A master ships its cluster's combined reduction object (serialized).
+
+    With a sync topology configured the upload may travel to a *parent
+    master* instead of the head, carrying the merged contribution of
+    ``origins`` (this cluster plus every descendant already folded in) as
+    a wire-encoded blob (:mod:`repro.core.wire`). Legacy senders leave
+    ``origins`` empty, meaning just ``cluster``, and ``blob`` is a plain
+    ``to_bytes`` envelope.
+    """
 
     cluster: str
     blob: bytes
+    origins: tuple[str, ...] = ()
+
+    @property
+    def covered(self) -> tuple[str, ...]:
+        return self.origins or (self.cluster,)
 
 
 # -- slave <-> master ------------------------------------------------------------
@@ -104,10 +117,20 @@ class SlaveFailed:
 @dataclass(frozen=True)
 class SlaveReduction:
     """A slave hands its reduction object to the master (same process, so
-    the live object is passed; cross-cluster transfers serialize)."""
+    the live object is passed; cross-cluster transfers serialize).
+
+    Streaming mode flushes *partial* objects mid-run: ``partial=True``
+    marks a watermark flush, and ``job_ids`` lists the jobs whose
+    contribution the object carries. The master commits those jobs —
+    they are never re-executed even if this slave later dies — and
+    merges the partial immediately, overlapping global reduction with
+    the tail of compute. The final hand-off has ``partial=False``.
+    """
 
     slave_id: int
     robj: Any
+    partial: bool = False
+    job_ids: tuple[int, ...] = ()
 
 
 # -- head -> driver ------------------------------------------------------------

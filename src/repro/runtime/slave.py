@@ -57,6 +57,7 @@ class SlaveWorker:
         metrics: MetricsRegistry | None = None,
         take_timeout: float = 60.0,
         prefetch: bool = False,
+        sync_watermark: int = 0,
     ) -> None:
         self.slave_id = slave_id
         self.cluster = cluster
@@ -70,6 +71,14 @@ class SlaveWorker:
         #: Double-buffer job acquisition + fetch behind compute.
         self.prefetch = prefetch
         self.prefetches = 0
+        #: Streaming partial merges: after this many completed jobs the
+        #: slave flushes its reduction object to the master and starts a
+        #: fresh one, so global reduction overlaps the compute tail.
+        #: ``0`` (the default) keeps the original hand-over-at-exit path.
+        self.sync_watermark = sync_watermark
+        self.sync_flushes = 0
+        self._robj = None
+        self._flushed_jobs: list[int] = []
         self._metrics = metrics
         #: Mailbox-receive timeout, threaded from the driver's
         #: ``join_timeout`` so short-deadline fault tests are not pinned
@@ -129,14 +138,47 @@ class SlaveWorker:
             )
 
     def _work(self, current: list) -> None:
-        robj = self.app.create_reduction_object()
+        self._robj = self.app.create_reduction_object()
+        self._flushed_jobs.clear()
         if self.prefetch:
-            self._work_pipelined(current, robj)
+            self._work_pipelined(current)
         else:
-            self._work_sequential(current, robj)
-        self.master_inbox.post(SlaveReduction(slave_id=self.slave_id, robj=robj))
+            self._work_sequential(current)
+        self.master_inbox.post(
+            SlaveReduction(
+                slave_id=self.slave_id,
+                robj=self._robj,
+                partial=False,
+                job_ids=tuple(self._flushed_jobs),
+            )
+        )
 
-    def _work_sequential(self, current: list, robj) -> None:
+    def _maybe_flush(self) -> None:
+        """Streaming mode: hand the accumulated partial to the master at
+        the watermark and start fresh. The listed jobs are committed —
+        the master will not re-execute them if this slave later dies."""
+        if not self.sync_watermark:
+            return
+        if len(self._flushed_jobs) < self.sync_watermark:
+            return
+        self.master_inbox.post(
+            SlaveReduction(
+                slave_id=self.slave_id,
+                robj=self._robj,
+                partial=True,
+                job_ids=tuple(self._flushed_jobs),
+            )
+        )
+        self.sync_flushes += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "sync_partial", cluster=self.cluster, worker=self.slave_id,
+                detail=f"{len(self._flushed_jobs)} jobs committed",
+            )
+        self._robj = self.app.create_reduction_object()
+        self._flushed_jobs = []
+
+    def _work_sequential(self, current: list) -> None:
         telemetry = self.telemetry
         trace = self.trace
         while True:
@@ -165,10 +207,10 @@ class SlaveWorker:
                 )
             if self._fetch_hist is not None:
                 self._fetch_hist.observe(telemetry.retrieval.total - before_fetch)
-            self._process(job, raw, robj)
+            self._process(job, raw)
             current[0] = None
 
-    def _work_pipelined(self, current: list, robj) -> None:
+    def _work_pipelined(self, current: list) -> None:
         """Two-stage pipeline: the prefetcher acquires and fetches job
         *N+1* while this thread reduces job *N*.
 
@@ -202,7 +244,7 @@ class SlaveWorker:
                     self._fetch_hist.observe(
                         telemetry.retrieval.total - before_fetch
                     )
-                self._process(job, raw, robj)
+                self._process(job, raw)
                 current[0] = None
         finally:
             self.prefetches = prefetcher.prefetches
@@ -219,8 +261,9 @@ class SlaveWorker:
         """Prefetcher stage 2: pull the chunk's bytes (cache first)."""
         return self.reader.read_job(job, from_site=self.site)
 
-    def _process(self, job: Job, raw: bytes, robj) -> None:
+    def _process(self, job: Job, raw: bytes) -> None:
         """Decode + local reduction + completion accounting for one job."""
+        robj = self._robj
         telemetry = self.telemetry
         trace = self.trace
         if trace is not None:
@@ -250,3 +293,5 @@ class SlaveWorker:
             self._jobs_counter.inc()
         telemetry.jobs += 1
         self.master_inbox.post(SlaveJobDone(slave_id=self.slave_id, job=job))
+        self._flushed_jobs.append(job.job_id)
+        self._maybe_flush()

@@ -111,6 +111,15 @@ class RunTelemetry:
     cache_evictions: int = 0
     bytes_saved: int = 0
     prefetches: int = 0
+    #: Global-reduction sync accounting (see :mod:`repro.core.sync`):
+    #: filled by the driver when a :class:`~repro.core.sync.SyncSpec` is
+    #: active. ``sync_bytes_saved`` is dense-minus-wire across every
+    #: upload this run; ``sync_partial_merges`` counts streamed slave
+    #: flushes folded before the barrier.
+    sync_uploads: int = 0
+    sync_bytes_sent: int = 0
+    sync_bytes_saved: int = 0
+    sync_partial_merges: int = 0
     metrics: dict | None = None
 
     @property
@@ -141,6 +150,10 @@ class RunTelemetry:
             "cache_evictions": self.cache_evictions,
             "bytes_saved": self.bytes_saved,
             "prefetches": self.prefetches,
+            "sync_uploads": self.sync_uploads,
+            "sync_bytes_sent": self.sync_bytes_sent,
+            "sync_bytes_saved": self.sync_bytes_saved,
+            "sync_partial_merges": self.sync_partial_merges,
             "clusters": {name: asdict(c) for name, c in self.clusters.items()},
             "metrics": self.metrics,
         }
@@ -171,6 +184,10 @@ class RunTelemetry:
                 cache_evictions=int(doc.get("cache_evictions", 0)),
                 bytes_saved=int(doc.get("bytes_saved", 0)),
                 prefetches=int(doc.get("prefetches", 0)),
+                sync_uploads=int(doc.get("sync_uploads", 0)),
+                sync_bytes_sent=int(doc.get("sync_bytes_sent", 0)),
+                sync_bytes_saved=int(doc.get("sync_bytes_saved", 0)),
+                sync_partial_merges=int(doc.get("sync_partial_merges", 0)),
                 metrics=doc.get("metrics"),
             )
         except (KeyError, TypeError) as exc:

@@ -30,6 +30,7 @@ from ..config import DatasetSpec, MiddlewareTuning
 from ..core.index import DataIndex, FileEntry
 from ..core.job import Job
 from ..core.scheduler import HeadScheduler
+from ..core.sync import SyncSpec, build_sync_plan, plan_roots
 from ..cluster.variability import LOCAL_VARIABILITY, VariabilityModel
 from ..errors import ConfigurationError, SimulationError
 from ..units import MB
@@ -99,6 +100,12 @@ class MultiSiteConfig:
     tuning: MiddlewareTuning = field(default_factory=MiddlewareTuning)
     control_latency: float = 0.03  # one-way inter-site control latency
     robj_flow_rate: float = 8 * MB  # WAN push rate for reduction objects
+    #: Shared trunk into the head site for reduction-object uploads,
+    #: bytes/s. ``None`` keeps the legacy model (each remote site gets an
+    #: independent path). When set, every upload bound for the head site
+    #: fair-shares this one link — which is what makes star aggregation
+    #: (n concurrent flows) lose to a tree (~fanout concurrent flows).
+    head_ingress_bandwidth: float | None = None
     seed: int = 2011
 
     def __post_init__(self) -> None:
@@ -122,6 +129,11 @@ class MultiSiteConfig:
             raise ConfigurationError("control_latency cannot be negative")
         if self.robj_flow_rate <= 0:
             raise ConfigurationError("robj_flow_rate must be positive")
+        if (
+            self.head_ingress_bandwidth is not None
+            and self.head_ingress_bandwidth <= 0
+        ):
+            raise ConfigurationError("head_ingress_bandwidth must be positive")
 
     @property
     def head(self) -> str:
@@ -233,6 +245,11 @@ def load_multisite_config(text: str) -> MultiSiteConfig:
         head_site=str(doc.get("head_site", "")),
         control_latency=float(doc.get("control_latency", 0.03)),
         robj_flow_rate=float(doc.get("robj_flow_rate", 8 * MB)),
+        head_ingress_bandwidth=(
+            float(doc["head_ingress_bandwidth"])
+            if doc.get("head_ingress_bandwidth") is not None
+            else None
+        ),
         seed=int(doc.get("seed", 2011)),
     )
 
@@ -246,11 +263,15 @@ class MultiSiteSimulation:
         profile: AppProfile | None = None,
         merge_seconds_per_byte: float = 1.0 / (2.0 * 1024**3),
         trace: "TraceRecorder | None" = None,
+        sync: SyncSpec | None = None,
     ) -> None:
         self.config = config
         self.profile = profile or get_profile(config.app)
         self.merge_seconds_per_byte = merge_seconds_per_byte
         self.trace = trace
+        #: Sync plan, as in :class:`~repro.sim.simulation.CloudBurstSimulation`;
+        #: a default spec collapses to the legacy star path.
+        self.sync = None if sync is None or sync.is_default else sync
 
     def _build_stores(self, env: Environment) -> dict[tuple[str, str], SimStore]:
         stores: dict[tuple[str, str], SimStore] = {}
@@ -296,6 +317,17 @@ class MultiSiteSimulation:
             )
 
         head = config.head
+        # Shared trunk into the head site: every reduction-object upload
+        # bound for the head fair-shares it when configured.
+        ingress = None
+        if config.head_ingress_bandwidth is not None:
+            ingress = FairShareLink(
+                env,
+                bandwidth=config.head_ingress_bandwidth,
+                latency=config.control_latency,
+                per_flow_cap=config.robj_flow_rate,
+                name=f"robj-ingress:{head}",
+            )
         robj_links: dict[str, FairShareLink] = {}
         for cross in config.cross_paths:
             if cross.dst == head and cross.src != head:
@@ -306,10 +338,54 @@ class MultiSiteSimulation:
                     per_flow_cap=config.robj_flow_rate,
                     name=f"robj:{cross.src}->{head}",
                 )
+        # Tree/ring aggregation ships between arbitrary site pairs; build
+        # those reduction-object links lazily from the cross paths.
+        cross_by_key = {(c.src, c.dst): c for c in config.cross_paths}
+        pair_links: dict[tuple[str, str], FairShareLink] = {}
+
+        def robj_link(src: str, dst: str) -> FairShareLink:
+            if dst == head and ingress is not None:
+                return ingress
+            if dst == head and src in robj_links:
+                return robj_links[src]
+            key = (src, dst)
+            if key not in pair_links:
+                cross = cross_by_key.get(key)
+                if cross is None:
+                    raise SimulationError(
+                        f"no path to ship {src!r}'s reduction object to "
+                        f"{dst!r}; add a CrossPath"
+                    )
+                pair_links[key] = FairShareLink(
+                    env,
+                    bandwidth=cross.path.bandwidth,
+                    latency=config.control_latency,
+                    per_flow_cap=config.robj_flow_rate,
+                    name=f"robj:{src}->{dst}",
+                )
+            return pair_links[key]
 
         active_sites = [s for s in config.sites if s.cores > 0]
         multi_cluster = len(active_sites) > 1
         robj_bytes = self.profile.robj_bytes
+
+        spec = self.sync
+        # Plan order puts the head-site cluster first (when it has cores)
+        # so the final hop to the head stays off the WAN, matching the
+        # two-site simulator and the runtime driver.
+        ordered_sites = sorted(
+            (s.name for s in active_sites), key=lambda n: n != head
+        )
+        cluster_names = [f"{n}-cluster" for n in ordered_sites]
+        site_of = {f"{s.name}-cluster": s for s in active_sites}
+        plan = (
+            build_sync_plan(cluster_names, spec.topology, fanout=spec.fanout)
+            if spec is not None
+            else None
+        )
+        wire_bytes = robj_bytes * spec.sim_ratio if spec is not None else robj_bytes
+        upload_events = {name: env.event() for name in cluster_names}
+        upload_at: dict[str, float] = {}
         masters: dict[str, SimMaster] = {}
         slaves: dict[str, list[SimSlave]] = {}
         processing_end: dict[str, float] = {}
@@ -360,7 +436,7 @@ class MultiSiteSimulation:
                 )
                 combine_done[name] = env.now
                 if multi_cluster and site.name != head:
-                    link = robj_links.get(site.name)
+                    link = ingress or robj_links.get(site.name)
                     if link is None:
                         raise SimulationError(
                             f"no path to ship {site.name!r}'s reduction "
@@ -378,7 +454,76 @@ class MultiSiteSimulation:
                 yield env.timeout(finish - env.now)
                 merged_at[name] = env.now
 
-            cluster_procs.append(env.process(cluster_proc(), name=f"cluster:{name}"))
+            def cluster_proc_sync(name=name, site=site, crew=crew):
+                procs = [env.process(s.run(), name=f"slave:{s.worker_id}")
+                         for s in crew]
+                yield env.all_of(procs)
+                processing_end[name] = env.now
+                if spec.stream:
+                    # Streamed partials were folded during compute; only
+                    # the final watermark's merge remains at the barrier.
+                    yield env.timeout(compute.merge_seconds(robj_bytes))
+                else:
+                    yield env.timeout(
+                        compute.combine_seconds(robj_bytes, len(crew),
+                                                site.intra_bandwidth)
+                    )
+                combine_done[name] = env.now
+                node = plan[name]
+                if node.children:
+                    yield env.all_of([upload_events[c] for c in node.children])
+                    merge = compute.merge_seconds(robj_bytes)
+                    if spec.stream:
+                        busy = 0.0
+                        for child in sorted(
+                            node.children, key=upload_at.__getitem__
+                        ):
+                            busy = max(busy, upload_at[child]) + merge
+                            merged_at[child] = busy
+                    else:
+                        busy = env.now
+                        for child in node.children:
+                            busy += merge
+                            merged_at[child] = busy
+                    if busy > env.now:
+                        yield env.timeout(busy - env.now)
+                if node.parent is not None:
+                    parent_site = site_of[node.parent].name
+                    yield robj_link(site.name, parent_site).transfer(wire_bytes)
+                elif multi_cluster:
+                    if site.name == head:
+                        yield env.timeout(
+                            0.0002 + wire_bytes / site.intra_bandwidth
+                        )
+                    else:
+                        yield robj_link(site.name, head).transfer(wire_bytes)
+                robj_arrival[name] = env.now
+                upload_at[name] = env.now
+                upload_events[name].succeed()
+                if node.parent is None and spec.stream:
+                    start = max(env.now, head_busy_until[0])
+                    finish = start + compute.merge_seconds(robj_bytes)
+                    head_busy_until[0] = finish
+                    yield env.timeout(finish - env.now)
+                    merged_at[name] = env.now
+
+            proc = cluster_proc_sync() if spec is not None else cluster_proc()
+            cluster_procs.append(env.process(proc, name=f"cluster:{name}"))
+
+        if spec is not None and not spec.stream:
+            roots = plan_roots(plan)
+
+            def head_barrier_proc():
+                yield env.all_of([upload_events[r] for r in roots])
+                finish = env.now
+                for root in roots:
+                    finish += compute.merge_seconds(robj_bytes)
+                    merged_at[root] = finish
+                yield env.timeout(finish - env.now)
+
+            cluster_procs.append(
+                env.process(head_barrier_proc(), name="head:barrier")
+            )
 
         env.run(env.all_of(cluster_procs))
         env.run()

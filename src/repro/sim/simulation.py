@@ -35,6 +35,7 @@ from ..config import CLOUD_SITE, LOCAL_SITE, ExperimentConfig
 from ..core.index import build_index
 from ..core.job import Job
 from ..core.scheduler import HeadScheduler
+from ..core.sync import SyncSpec, build_sync_plan, plan_roots
 from ..errors import SimulationError
 from .calibration import PAPER_CALIBRATION, SimCalibration
 from .computemodel import ComputeModel
@@ -61,6 +62,7 @@ class CloudBurstSimulation:
         trace: "TraceRecorder | None" = None,
         static_assignment: bool = False,
         cache: "ChunkCache | None" = None,
+        sync: SyncSpec | None = None,
     ) -> None:
         self.config = config
         self.calibration = calibration
@@ -78,6 +80,13 @@ class CloudBurstSimulation:
         #: and an executed one agree on which passes touch the network.
         #: The caller owns it, so it persists across iterative passes.
         self.cache = cache
+        #: Global-reduction sync plan (:class:`~repro.core.sync.SyncSpec`),
+        #: modeled with the same :func:`build_sync_plan` the runtime
+        #: executes. A default spec is indistinguishable from ``None`` —
+        #: the original ship-and-merge path runs untouched. Encoded
+        #: uploads are charged ``robj_bytes * sim_ratio`` on the wire
+        #: (merge cost stays dense: decoding restores the full object).
+        self.sync = None if sync is None or sync.is_default else sync
 
     # -- wiring ---------------------------------------------------------------
 
@@ -151,6 +160,21 @@ class CloudBurstSimulation:
         sites = config.compute.active_sites
         multi_cluster = len(sites) > 1
         robj_bytes = self.profile.robj_bytes
+
+        spec = self.sync
+        cluster_names = [f"{site}-cluster" for site in sites]
+        site_of = dict(zip(cluster_names, sites))
+        # ``active_sites`` puts the head's site first whenever it has
+        # cores, so the plan root is the head-site master (as in the
+        # runtime driver).
+        plan = (
+            build_sync_plan(cluster_names, spec.topology, fanout=spec.fanout)
+            if spec is not None
+            else None
+        )
+        wire_bytes = robj_bytes * spec.sim_ratio if spec is not None else robj_bytes
+        upload_events = {name: env.event() for name in cluster_names}
+        upload_at: dict[str, float] = {}
 
         masters: dict[str, SimMaster] = {}
         slaves: dict[str, list[SimSlave]] = {}
@@ -234,7 +258,104 @@ class CloudBurstSimulation:
                 if self.trace is not None:
                     self.trace.record(env.now, "merge_done", cluster=name)
 
-            cluster_procs.append(env.process(cluster_proc(), name=f"cluster:{name}"))
+            def cluster_proc_sync(name=name, site=site, crew=crew, intra_bw=intra_bw):
+                procs = [env.process(s.run(), name=f"slave:{s.worker_id}") for s in crew]
+                yield env.all_of(procs)
+                processing_end[name] = env.now
+                # Streaming flushes fold slave partials during compute, so
+                # only the final watermark's worth of merging remains once
+                # the last slave finishes; the barrier pays the full tree.
+                if spec.stream:
+                    yield env.timeout(compute.merge_seconds(robj_bytes))
+                else:
+                    yield env.timeout(
+                        compute.combine_seconds(robj_bytes, len(crew), intra_bw)
+                    )
+                combine_done[name] = env.now
+                if self.trace is not None:
+                    self.trace.record(env.now, "combine_done", cluster=name)
+                node = plan[name]
+                if node.children:
+                    yield env.all_of([upload_events[c] for c in node.children])
+                    merge = compute.merge_seconds(robj_bytes)
+                    if spec.stream:
+                        # Fold each child on arrival: the master thread is
+                        # free while its slaves compute, so early arrivals
+                        # cost nothing at the barrier.
+                        busy = 0.0
+                        for child in sorted(
+                            node.children, key=upload_at.__getitem__
+                        ):
+                            busy = max(busy, upload_at[child]) + merge
+                            merged_at[child] = busy
+                            if self.trace is not None:
+                                self.trace.record(
+                                    busy, "merge_done", cluster=child
+                                )
+                    else:
+                        busy = env.now
+                        for child in node.children:
+                            busy += merge
+                            merged_at[child] = busy
+                            if self.trace is not None:
+                                self.trace.record(
+                                    busy, "merge_done", cluster=child
+                                )
+                    if busy > env.now:
+                        yield env.timeout(busy - env.now)
+                # Ship the (encoded) object up the aggregation plan.
+                if node.parent is not None:
+                    if site_of[node.parent] == site:
+                        yield env.timeout(
+                            self.calibration.lan_latency + wire_bytes / intra_bw
+                        )
+                    else:
+                        yield wan_robj.transfer(wire_bytes)
+                elif multi_cluster:
+                    # Plan root: the hop to the head (LAN for its own site).
+                    if site == HEAD_SITE:
+                        yield env.timeout(
+                            self.calibration.lan_latency
+                            + wire_bytes / self.calibration.intra_local_bandwidth
+                        )
+                    else:
+                        yield wan_robj.transfer(wire_bytes)
+                robj_arrival[name] = env.now
+                upload_at[name] = env.now
+                if self.trace is not None:
+                    self.trace.record(env.now, "robj_sent", cluster=name)
+                upload_events[name].succeed()
+                if node.parent is None and spec.stream:
+                    # Head merges arriving roots immediately, serialized.
+                    start = max(env.now, head_busy_until[0])
+                    finish = start + compute.merge_seconds(robj_bytes)
+                    head_busy_until[0] = finish
+                    yield env.timeout(finish - env.now)
+                    merged_at[name] = env.now
+                    if self.trace is not None:
+                        self.trace.record(env.now, "merge_done", cluster=name)
+
+            proc = cluster_proc_sync() if spec is not None else cluster_proc()
+            cluster_procs.append(env.process(proc, name=f"cluster:{name}"))
+
+        if spec is not None and not spec.stream:
+            # Barrier global reduction: the head waits for every plan root
+            # and merges them serially in plan order (as the runtime does).
+            roots = plan_roots(plan)
+
+            def head_barrier_proc():
+                yield env.all_of([upload_events[r] for r in roots])
+                finish = env.now
+                for root in roots:
+                    finish += compute.merge_seconds(robj_bytes)
+                    merged_at[root] = finish
+                    if self.trace is not None:
+                        self.trace.record(finish, "merge_done", cluster=root)
+                yield env.timeout(finish - env.now)
+
+            cluster_procs.append(
+                env.process(head_barrier_proc(), name="head:barrier")
+            )
 
         if self.static_assignment:
             # Deal the whole pool out round-robin before time starts, then

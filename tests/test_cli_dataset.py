@@ -68,3 +68,33 @@ def test_generated_meta_contents(tmp_path, capsys):
     assert meta["app"] == "knn"
     assert meta["units"] == 512
     assert meta["seed"] == 7
+
+
+def test_run_with_sync_flags_prints_accounting(tmp_path, capsys):
+    out = tmp_path / "ds"
+    main(["generate", "wordcount", "--out", str(out), "--units", "1024",
+          "--files", "2", "--chunks-per-file", "2"])
+    capsys.readouterr()
+    code = main([
+        "run", str(out),
+        "--sync-topology", "tree", "--sync-encoding", "auto",
+        "--sync-compress", "zlib", "--sync-stream", "--sync-watermark", "2",
+    ])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "sync: tree/auto/zlib" in text
+    assert "wire bytes" in text and "off dense" in text
+
+    # The same run without sync flags matches result-for-result.
+    main(["run", str(out)])
+    plain = capsys.readouterr().out
+    assert plain.splitlines()[1] == text.splitlines()[1]
+
+
+def test_run_rejects_unknown_sync_values(tmp_path, capsys):
+    out = tmp_path / "ds"
+    main(["generate", "wordcount", "--out", str(out), "--units", "256",
+          "--files", "1", "--chunks-per-file", "2"])
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["run", str(out), "--sync-topology", "mesh"])

@@ -222,6 +222,64 @@ def test_golden_matrix_simulator_stays_consistent(app, cache_bytes):
         assert report.cache_hits == 0 and report.cache_misses == 0
 
 
+#: Every sync_encoding x sync_topology x streaming combination. The
+#: dense/star/barrier corner (with compress "none") is the default spec —
+#: it runs the legacy path with zero sync machinery, and the matrix pins
+#: that it still matches the oracle and reports no sync accounting.
+SYNC_MATRIX = tuple(
+    pytest.param(
+        encoding, topology, stream,
+        id=f"{encoding}-{topology}-{'stream' if stream else 'barrier'}",
+    )
+    for encoding in ("dense", "sparse", "delta", "auto")
+    for topology in ("star", "tree", "ring")
+    for stream in (False, True)
+)
+
+
+@pytest.mark.parametrize("encoding,topology,stream", SYNC_MATRIX)
+@pytest.mark.parametrize("app", GOLDEN_APPS)
+def test_golden_matrix_sync_matches_serial(app, encoding, topology, stream):
+    config = repro.RunConfig(
+        mode="runtime",
+        sync_encoding=encoding,
+        sync_topology=topology,
+        sync_stream=stream,
+        sync_compress="zlib" if stream else "none",
+        sync_watermark=2,
+    )
+    result = repro.run(app, _golden_dataset(app), config)
+    _assert_same_value(_baseline(app), result.value)
+    t = result.telemetry
+    if config.sync_spec is None:
+        # The default spec constructs no sync machinery at all.
+        assert t.sync_uploads == 0 and t.sync_partial_merges == 0
+    else:
+        assert t.sync_uploads >= 1
+        assert t.sync_bytes_sent > 0
+        if stream:
+            assert t.sync_partial_merges > 0
+
+
+def test_golden_matrix_iterative_pagerank_delta():
+    """Three pagerank power iterations with the full WAN-shrinking stack
+    (delta+zlib over a tree, streamed partials) end in the same ranks as
+    the serial oracle, and the persistent codec saves wire bytes."""
+    dataset = _golden_dataset("pagerank")
+    serial = repro.run(
+        "pagerank", dataset, repro.RunConfig(mode="serial", iterations=3)
+    )
+    runtime = repro.run(
+        "pagerank", dataset,
+        repro.RunConfig(mode="runtime", iterations=3,
+                        sync_encoding="delta", sync_compress="zlib",
+                        sync_topology="tree", sync_stream=True),
+    )
+    assert serial.passes == runtime.passes == 3
+    _assert_same_value(serial.value, runtime.value)
+    assert runtime.telemetry.sync_bytes_saved > 0
+
+
 @pytest.mark.parametrize("cache_bytes,prefetch", CACHE_MATRIX)
 def test_golden_matrix_iterative_kmeans(cache_bytes, prefetch):
     """Three kmeans passes end in the same centroids on both executable

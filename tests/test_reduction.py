@@ -280,3 +280,26 @@ def test_dict_sum_merge_order_independent(dicts, rnd):
     shuffled = list(objs)
     rnd.shuffle(shuffled)
     assert merge_all(shuffled).value() == forward
+
+
+def test_dict_nbytes_cache_invalidates_on_mutation():
+    """nbytes() memoizes the pickled size; add() and merge() must both
+    drop the memo so accounting never reports a stale size."""
+    import pickle
+
+    d = DictReduction("sum", {"a": 1})
+    first = d.nbytes()
+    assert first == len(pickle.dumps(d.items, protocol=pickle.HIGHEST_PROTOCOL))
+    assert d.nbytes() is not None and d._nbytes_cache == first  # memoized
+
+    d.add("long-key-to-change-the-size", 2)
+    assert d._nbytes_cache is None  # invalidated
+    second = d.nbytes()
+    assert second > first
+    assert second == len(pickle.dumps(d.items, protocol=pickle.HIGHEST_PROTOCOL))
+
+    other = DictReduction("sum", {"another-key": 3})
+    d.merge(other)
+    assert d.nbytes() == len(
+        pickle.dumps(d.items, protocol=pickle.HIGHEST_PROTOCOL)
+    )

@@ -1,0 +1,486 @@
+"""Global-reduction sync: plan shapes, spec validation, codec accounting,
+head timing via an injectable clock, streaming fault tolerance, and the
+topology story (tree beats star on a shared head-ingress trunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.apps import make_bundle
+from repro.apps.base import get_profile
+from repro.bench.configs import env_config
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    MiddlewareTuning,
+    PlacementSpec,
+)
+from repro.core.api import run_serial
+from repro.core.index import build_index
+from repro.core.reduction import DictReduction, ScalarReduction, from_bytes
+from repro.core.scheduler import HeadScheduler
+from repro.core.sync import (
+    SyncCodec,
+    SyncSpec,
+    build_sync_plan,
+    plan_depth,
+    plan_roots,
+)
+from repro.data.dataset import DatasetReader, build_dataset
+from repro.errors import ConfigurationError, RuntimeProtocolError, WorkerFailure
+from repro.network.topology import Link
+from repro.network.transfer import sync_aggregation_time, transfer_time
+from repro.runtime.driver import CloudBurstingRuntime
+from repro.runtime.head import HeadNode, HeadSync
+from repro.runtime.messages import ReductionUpload
+from repro.sim.multisite import (
+    CrossPath,
+    MultiSiteConfig,
+    MultiSiteSimulation,
+    SiteSpec,
+)
+from repro.sim.simulation import CloudBurstSimulation
+from repro.sim.storagemodel import StorePath
+from repro.storage.objectstore import ObjectStore
+from repro.units import MB
+
+from conftest import small_spec
+
+
+# -- plan shapes -------------------------------------------------------------
+
+
+def test_star_plan_everyone_uploads_to_head():
+    plan = build_sync_plan(["a", "b", "c", "d"], "star")
+    assert plan_roots(plan) == ["a", "b", "c", "d"]
+    assert plan_depth(plan) == 1
+    assert all(node.children == () for node in plan.values())
+
+
+def test_tree_plan_uses_heap_indexing():
+    names = [f"c{i}" for i in range(7)]
+    plan = build_sync_plan(names, "tree", fanout=2)
+    assert plan_roots(plan) == ["c0"]
+    assert plan["c0"].children == ("c1", "c2")
+    assert plan["c1"].children == ("c3", "c4")
+    assert plan["c2"].children == ("c5", "c6")
+    assert plan_depth(plan) == 3
+    # A parent always precedes its children in cluster order, so the
+    # runtime can build masters in index order and wire parent inboxes.
+    order = {name: i for i, name in enumerate(names)}
+    for node in plan.values():
+        if node.parent is not None:
+            assert order[node.parent] < order[node.name]
+
+
+def test_tree_plan_respects_fanout():
+    plan = build_sync_plan([f"c{i}" for i in range(5)], "tree", fanout=4)
+    assert plan["c0"].children == ("c1", "c2", "c3", "c4")
+    assert plan_depth(plan) == 2
+
+
+def test_ring_plan_is_a_chain():
+    plan = build_sync_plan(["a", "b", "c"], "ring")
+    assert plan["c"].parent == "b" and plan["b"].parent == "a"
+    assert plan["a"].parent is None
+    assert plan_depth(plan) == 3
+
+
+def test_single_cluster_plans_degenerate_to_star():
+    for topology in ("star", "tree", "ring"):
+        plan = build_sync_plan(["only"], topology)
+        assert plan_roots(plan) == ["only"] and plan_depth(plan) == 1
+
+
+def test_plan_rejects_bad_inputs():
+    with pytest.raises(ConfigurationError, match="at least one"):
+        build_sync_plan([], "star")
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        build_sync_plan(["a", "a"], "tree")
+    with pytest.raises(ConfigurationError, match="topology"):
+        build_sync_plan(["a"], "mesh")
+
+
+# -- spec validation ---------------------------------------------------------
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError, match="topology"):
+        SyncSpec(topology="mesh")
+    with pytest.raises(ConfigurationError, match="encoding"):
+        SyncSpec(encoding="huffman")
+    with pytest.raises(ConfigurationError, match="compression"):
+        SyncSpec(compress="zstd")
+    with pytest.raises(ConfigurationError, match="watermark"):
+        SyncSpec(watermark=0)
+    with pytest.raises(ConfigurationError, match="fanout"):
+        SyncSpec(fanout=0)
+    with pytest.raises(ConfigurationError, match="sim_ratio"):
+        SyncSpec(sim_ratio=0.0)
+
+
+def test_spec_is_default_ignores_sim_only_knobs():
+    assert SyncSpec().is_default
+    assert SyncSpec(watermark=3, fanout=5, sim_ratio=0.5).is_default
+    assert not SyncSpec(topology="tree").is_default
+    assert not SyncSpec(encoding="auto").is_default
+    assert not SyncSpec(compress="zlib").is_default
+    assert not SyncSpec(stream=True).is_default
+
+
+# -- codec accounting --------------------------------------------------------
+
+
+def test_codec_tracks_bytes_saved_per_channel():
+    codec = SyncCodec(SyncSpec(encoding="delta", compress="zlib"))
+    robj = DictReduction("sum", {f"w{i}": i for i in range(200)})
+    for _ in range(3):
+        blob = codec.encode("cloud-cluster", robj).blob
+        assert codec.decode("cloud-cluster", blob).to_bytes() == robj.to_bytes()
+    stats = codec.stats
+    assert stats.uploads == 3
+    assert stats.dense_bytes == 3 * len(robj.to_bytes())
+    # Passes 2 and 3 are pure deltas of an unchanged object: near-free.
+    assert stats.bytes_saved > stats.dense_bytes // 2
+    assert stats.encodings.get("delta", 0) >= 2
+
+
+# -- head timing via the injectable clock ------------------------------------
+
+
+class TickClock:
+    """monotonic() advances exactly one second per call."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def monotonic(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def make_head(clusters, **kwargs):
+    spec = small_spec(record_bytes=4, files=2, chunks_per_file=2)
+    index = build_index(spec, PlacementSpec(local_fraction=1.0))
+    scheduler = HeadScheduler(index.jobs(), MiddlewareTuning())
+    for name in clusters:
+        scheduler.register_cluster(name, LOCAL_SITE)
+    return HeadNode(scheduler, list(clusters), **kwargs)
+
+
+def test_head_barrier_timing_is_clock_driven():
+    clock = TickClock()
+    head = make_head(("a", "b"), clock=clock)
+    for name in ("a", "b"):
+        head.inbox.post(
+            ReductionUpload(cluster=name, blob=ScalarReduction("sum", 1.0).to_bytes())
+        )
+    head._serve()  # drive on this thread: timing must come from the clock
+    # One started/finished pair around the whole barrier merge: 1 tick.
+    assert head.global_reduction_seconds == 1.0
+    assert from_bytes(head.result.blob).value() == 2.0
+
+
+def test_head_stream_timing_accumulates_per_upload():
+    clock = TickClock()
+    codec = SyncCodec(SyncSpec(stream=True))
+    sync = HeadSync(codec=codec, roots=("a", "b"), stream=True)
+    head = make_head(("a", "b"), clock=clock, sync=sync)
+    for name in ("a", "b"):
+        blob = codec.encode(name, ScalarReduction("sum", 2.0)).blob
+        head.inbox.post(ReductionUpload(cluster=name, blob=blob))
+    head._serve()
+    # One started/finished pair per streamed merge: 2 ticks in total.
+    assert head.global_reduction_seconds == 2.0
+    assert from_bytes(head.result.blob).value() == 4.0
+
+
+def test_head_rejects_incomplete_coverage():
+    codec = SyncCodec(SyncSpec(topology="tree"))
+    sync = HeadSync(codec=codec, roots=("a",))
+    head = make_head(("a", "b", "c"), sync=sync)
+    blob = codec.encode("a", ScalarReduction("sum", 1.0)).blob
+    head.inbox.post(ReductionUpload(cluster="a", blob=blob, origins=("a", "b")))
+    with pytest.raises(RuntimeProtocolError, match="coverage"):
+        head._serve()  # "c" never showed up in any origins
+
+
+def test_head_accepts_relayed_coverage():
+    codec = SyncCodec(SyncSpec(topology="ring"))
+    sync = HeadSync(codec=codec, roots=("a",))
+    head = make_head(("a", "b", "c"), sync=sync)
+    blob = codec.encode("a", ScalarReduction("sum", 6.0)).blob
+    head.inbox.post(
+        ReductionUpload(cluster="a", blob=blob, origins=("a", "b", "c"))
+    )
+    head._serve()
+    assert from_bytes(head.result.blob).value() == 6.0
+
+
+# -- runtime equivalence and streaming fault tolerance -----------------------
+
+
+def materialize(app_key="histogram", total_units=2048, **params):
+    bundle = make_bundle(app_key, total_units, **params)
+    rb = bundle.schema.record_bytes
+    spec = DatasetSpec(
+        total_bytes=total_units * rb,
+        num_files=4,
+        chunk_bytes=(total_units // 16) * rb,
+        record_bytes=rb,
+    )
+    stores = {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+    index = build_dataset(
+        spec, PlacementSpec(0.5), bundle.schema, bundle.block_fn, stores
+    )
+    return bundle, index, stores
+
+
+def run_once(bundle, index, stores, sync=None, fault_hook=None, cores=(1, 1)):
+    runtime = CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=cores[0], cloud_cores=cores[1]),
+        tuning=MiddlewareTuning(units_per_group=100),
+        sync=sync,
+        fault_hook=fault_hook,
+    )
+    return runtime.run()
+
+
+def test_runtime_sync_telemetry_accounts_for_wire_savings():
+    bundle, index, stores = materialize("wordcount", vocabulary=64)
+    oracle = run_serial(
+        bundle.app, DatasetReader(index, stores).read_all_chunks()
+    )
+    result = run_once(
+        bundle, index, stores,
+        sync=SyncSpec(encoding="auto", compress="zlib"),
+    )
+    assert result.value == oracle
+    t = result.telemetry
+    assert t.sync_uploads == 2  # one combined object per cluster
+    assert t.sync_bytes_sent > 0
+    assert t.sync_bytes_saved > 0  # zlib easily beats pickled dicts
+    assert t.sync_partial_merges == 0  # barrier mode: no partial flushes
+
+
+def test_runtime_streaming_flushes_partials():
+    bundle, index, stores = materialize("histogram")
+    oracle = run_serial(
+        bundle.app, DatasetReader(index, stores).read_all_chunks()
+    )
+    result = run_once(
+        bundle, index, stores,
+        sync=SyncSpec(stream=True, watermark=2),
+        cores=(2, 2),
+    )
+    np.testing.assert_array_equal(result.value, oracle)
+    assert result.telemetry.sync_partial_merges > 0
+
+
+class CrashOnce:
+    """Kill one slave after it has processed ``after`` jobs."""
+
+    def __init__(self, victim: int, after: int) -> None:
+        self.victim = victim
+        self.after = after
+        self.count = 0
+
+    def __call__(self, slave_id: int, job) -> None:
+        if slave_id == self.victim:
+            self.count += 1
+            if self.count == self.after + 1:
+                raise WorkerFailure(f"injected crash of slave {slave_id}")
+
+
+def test_streaming_commits_flushed_work_across_a_crash():
+    """A dead slave's flushed partials survive: only the jobs since its
+    last watermark flush (plus the in-flight one) are re-executed, and
+    the result still equals the oracle."""
+    bundle, index, stores = materialize("histogram")
+    oracle = run_serial(
+        bundle.app, DatasetReader(index, stores).read_all_chunks()
+    )
+    watermark = 1
+    streamed = run_once(
+        bundle, index, stores,
+        sync=SyncSpec(stream=True, watermark=watermark),
+        fault_hook=CrashOnce(victim=0, after=2),
+        cores=(2, 2),
+    )
+    np.testing.assert_array_equal(streamed.value, oracle)
+    assert streamed.telemetry.slaves_failed == 1
+    # Every processed job was flushed (watermark 1), so only the job that
+    # was in flight at the crash replays.
+    assert 0 < streamed.telemetry.jobs_reexecuted <= watermark + 1
+
+    barrier = run_once(
+        bundle, index, stores, fault_hook=CrashOnce(victim=0, after=2),
+        cores=(2, 2),
+    )
+    np.testing.assert_array_equal(barrier.value, oracle)
+    # Without commits the whole history of the victim replays.
+    assert barrier.telemetry.jobs_reexecuted >= 3
+
+
+# -- simulators --------------------------------------------------------------
+
+
+def test_sim_default_spec_is_byte_identical_to_legacy():
+    config = env_config("pagerank", "env-50/50", scale=0.05)
+    legacy = CloudBurstSimulation(config).run()
+    default = CloudBurstSimulation(config, sync=SyncSpec()).run()
+    assert default.makespan == legacy.makespan
+    assert default.events_processed == legacy.events_processed
+
+
+@pytest.mark.parametrize("topology", ("star", "tree", "ring"))
+def test_sim_topologies_keep_invariants(topology):
+    config = env_config("pagerank", "env-50/50", scale=0.05)
+    report = CloudBurstSimulation(
+        config, sync=SyncSpec(topology=topology, stream=True)
+    ).run()
+    report.validate()
+    assert report.total_jobs == CloudBurstSimulation(config).run().total_jobs
+
+
+def test_sim_ratio_cuts_modeled_sync_time():
+    config = env_config("pagerank", "env-50/50", scale=0.05)
+    dense = CloudBurstSimulation(config, sync=SyncSpec(topology="ring")).run()
+    thin = CloudBurstSimulation(
+        config, sync=SyncSpec(topology="ring", sim_ratio=0.01)
+    ).run()
+    assert thin.makespan < dense.makespan
+
+
+# -- multisite: the tree-beats-star story ------------------------------------
+
+
+def _many_site_config(n_sites=6, ingress_mb=4):
+    def storage_path(name):
+        return StorePath(
+            name=name, bandwidth=200 * MB, per_connection_cap=20 * MB,
+            request_latency=0.001,
+        )
+
+    names = ["campus"] + [f"cloud{i}" for i in range(1, n_sites)]
+    sites = tuple(
+        SiteSpec(name=name, cores=2, data_files=1, storage=storage_path(name))
+        for name in names
+    )
+    cross = tuple(
+        CrossPath(
+            src=a, dst=b,
+            path=StorePath(
+                name=f"{a}->{b}", bandwidth=40 * MB,
+                per_connection_cap=20 * MB, request_latency=0.05,
+            ),
+        )
+        for a in names for b in names if a != b
+    )
+    return MultiSiteConfig(
+        name="wan-tax",
+        app="kmeans",
+        dataset=DatasetSpec(
+            total_bytes=n_sites * 4 * MB,
+            num_files=n_sites,
+            chunk_bytes=1 * MB,
+            record_bytes=4,
+        ),
+        sites=sites,
+        cross_paths=cross,
+        head_site="campus",
+        head_ingress_bandwidth=ingress_mb * MB,
+    )
+
+
+def _big_robj_profile():
+    return replace(get_profile("kmeans"), robj_bytes=64 * MB)
+
+
+def test_multisite_tree_beats_star_on_shared_ingress():
+    """With a 64 MB reduction object and a skinny shared trunk into the
+    head site, star's n-1 concurrent flows strangle each other while
+    tree ships at most a level's worth at a time."""
+    config = _many_site_config()
+    profile = _big_robj_profile()
+    results = {
+        topo: MultiSiteSimulation(
+            config, profile=profile, sync=SyncSpec(topology=topo)
+        ).run()
+        for topo in ("star", "tree", "ring")
+    }
+    for report in results.values():
+        report.validate()
+    assert results["tree"].makespan < results["star"].makespan
+    assert results["ring"].makespan < results["star"].makespan
+
+
+def test_multisite_star_spec_matches_legacy_exactly():
+    config = _many_site_config()
+    profile = _big_robj_profile()
+    legacy = MultiSiteSimulation(config, profile=profile).run()
+    star = MultiSiteSimulation(
+        config, profile=profile, sync=SyncSpec(topology="star")
+    ).run()
+    assert star.makespan == legacy.makespan
+
+
+def test_multisite_sim_ratio_models_wire_savings():
+    config = _many_site_config()
+    profile = _big_robj_profile()
+    dense = MultiSiteSimulation(
+        config, profile=profile, sync=SyncSpec(topology="tree")
+    ).run()
+    thin = MultiSiteSimulation(
+        config, profile=profile,
+        sync=SyncSpec(topology="tree", sim_ratio=0.1),
+    ).run()
+    assert thin.makespan < dense.makespan
+
+
+def test_head_ingress_bandwidth_validation():
+    with pytest.raises(ConfigurationError, match="ingress"):
+        _many_site_config(ingress_mb=0)
+
+
+# -- closed-form estimates ---------------------------------------------------
+
+
+def test_sync_aggregation_time_closed_forms():
+    link = Link("sites", "head", bandwidth=100.0, latency=0.5)
+    one = transfer_time(link, 1000)
+    # Star: one n-way shared transfer plus n serial head merges.
+    star = sync_aggregation_time(
+        link, 1000, 4, merge_seconds=2.0, topology="star"
+    )
+    assert star == pytest.approx(transfer_time(link, 1000, concurrent_flows=4) + 8.0)
+    # Ring: n serial single-flow hops, one merge each.
+    ring = sync_aggregation_time(
+        link, 1000, 4, merge_seconds=2.0, topology="ring"
+    )
+    assert ring == pytest.approx(4 * (one + 2.0))
+    # Tree sits between the two extremes on a capped trunk.
+    capped = Link("sites", "head", bandwidth=100.0, latency=0.5,
+                  per_flow_cap=50.0)
+    times = {
+        topo: sync_aggregation_time(capped, 10_000, 8, topology=topo)
+        for topo in ("star", "tree", "ring")
+    }
+    assert times["star"] <= times["tree"] <= times["ring"]
+
+
+def test_sync_aggregation_time_rejects_bad_inputs():
+    link = Link("a", "b", bandwidth=10.0)
+    with pytest.raises(ConfigurationError):
+        sync_aggregation_time(link, -1, 2)
+    with pytest.raises(ConfigurationError):
+        sync_aggregation_time(link, 10, 0)
+    with pytest.raises(ConfigurationError):
+        sync_aggregation_time(link, 10, 2, merge_seconds=-1.0)

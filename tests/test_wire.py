@@ -1,0 +1,266 @@
+"""Property tests for the reduction-object wire codecs.
+
+The contract pinned here (see :mod:`repro.core.wire`): decoding an
+encoded object reproduces the sender's serialization *bit for bit* for
+every ReductionObject subclass under every encoding x compression
+combination — including delta chains, where both ends of a channel must
+track the same baseline — and any truncated or corrupted payload is
+rejected with :class:`~repro.errors.ReductionError`, never a stray
+pickle/struct/zlib exception.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import wire
+from repro.core.reduction import (
+    ArrayReduction,
+    DictReduction,
+    ScalarReduction,
+    StructReduction,
+    TopKReduction,
+)
+from repro.core.sync import SyncCodec, SyncSpec
+from repro.errors import ReductionError
+
+COMPRESSIONS = [c for c in wire.COMPRESSIONS if c != "lz4" or wire.lz4_available()]
+
+_FLOATS = st.floats(allow_nan=False, width=32).map(float)
+
+
+@st.composite
+def array_reductions(draw) -> ArrayReduction:
+    dtype = draw(st.sampled_from(["<f8", "<f4", "<i8", "<i4", "<u2"]))
+    # Integer arrays only use 'sum' (min/max identities are +/-inf).
+    op = (
+        draw(st.sampled_from(["sum", "min", "max"]))
+        if dtype[1] == "f"
+        else "sum"
+    )
+    n = draw(st.integers(1, 64))
+    identity = ArrayReduction._IDENTITY[op]
+    data = np.full(n, identity, dtype=np.dtype(dtype))
+    # Sprinkle a few non-identity entries so sparse sometimes wins; keep
+    # some arrays fully dense so the fallback path is exercised too.
+    for _ in range(draw(st.integers(0, min(n, 8)))):
+        idx = draw(st.integers(0, n - 1))
+        if dtype[1] == "f":
+            data[idx] = draw(_FLOATS)
+        else:
+            data[idx] = draw(st.integers(0, 60000))
+    if draw(st.booleans()):
+        data[:] = np.arange(n, dtype=np.dtype(dtype))
+    return ArrayReduction(n, dtype=np.dtype(dtype), op=op, data=data)
+
+
+@st.composite
+def dict_reductions(draw) -> DictReduction:
+    items = draw(
+        st.dictionaries(st.text(max_size=6), st.integers(0, 1000), max_size=12)
+    )
+    return DictReduction("sum", items)
+
+
+@st.composite
+def topk_reductions(draw) -> TopKReduction:
+    k = draw(st.integers(1, 8))
+    n = draw(st.integers(0, 12))
+    scores = np.array([draw(_FLOATS) for _ in range(n)], dtype=np.float64)
+    ids = np.arange(n, dtype=np.int64)
+    return TopKReduction(k, scores, ids)
+
+
+@st.composite
+def scalar_reductions(draw) -> ScalarReduction:
+    return ScalarReduction(
+        draw(st.sampled_from(["sum", "min", "max"])), draw(_FLOATS)
+    )
+
+
+@st.composite
+def struct_reductions(draw) -> StructReduction:
+    return StructReduction(
+        {
+            "arr": draw(array_reductions()),
+            "count": draw(scalar_reductions()),
+        }
+    )
+
+
+def reduction_objects():
+    return st.one_of(
+        array_reductions(),
+        dict_reductions(),
+        topk_reductions(),
+        scalar_reductions(),
+        struct_reductions(),
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    robj=reduction_objects(),
+    encoding=st.sampled_from(wire.ENCODINGS),
+    compress=st.sampled_from(COMPRESSIONS),
+)
+def test_round_trip_without_baseline(robj, encoding, compress):
+    encoded = wire.encode(robj, encoding=encoding, compress=compress)
+    assert wire.is_wire_blob(encoded.blob)
+    decoded = wire.decode(encoded.blob)
+    assert decoded.robj.to_bytes() == robj.to_bytes()
+    assert decoded.dense == encoded.dense
+    # The cost heuristic never ships a blob materially larger than dense.
+    assert len(encoded.blob) <= len(encoded.dense) + wire._HEADER.size + 64
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    pair=st.one_of(
+        st.tuples(array_reductions(), array_reductions()),
+        st.tuples(dict_reductions(), dict_reductions()),
+        st.tuples(topk_reductions(), topk_reductions()),
+        st.tuples(struct_reductions(), struct_reductions()),
+    ),
+    compress=st.sampled_from(COMPRESSIONS),
+)
+def test_delta_chain_is_bit_exact(pair, compress):
+    """Two arbitrary objects sent back-to-back on one channel decode
+    bit-exactly, whatever delta representation (lane diff, XOR, fallback
+    to dense) the encoder lands on."""
+    first, second = pair
+    codec = SyncCodec(SyncSpec(encoding="delta", compress=compress))
+    for robj in (first, second):
+        blob = codec.encode("chan", robj).blob
+        decoded = codec.decode("chan", blob)
+        assert decoded.to_bytes() == robj.to_bytes()
+    assert codec.stats.uploads == 2
+    assert codec.stats.bytes_saved >= -2 * (wire._HEADER.size + 64)
+
+
+def test_delta_shrinks_converging_uploads():
+    """The iterative-workload story: near-identical successive objects
+    produce tiny deltas once compressed."""
+    rng = np.random.default_rng(7)
+    base = rng.random(4096)
+    codec = SyncCodec(SyncSpec(encoding="delta", compress="zlib"))
+    codec.encode("chan", ArrayReduction(4096, data=base))
+    second = codec.encode(
+        "chan", ArrayReduction(4096, data=base + 1e-12)
+    )
+    assert second.encoding == "delta"
+    assert len(second.blob) < len(second.dense) / 5
+
+
+def test_sparse_beats_dense_on_mostly_identity_arrays():
+    data = np.zeros(4096)
+    data[7] = 42.0
+    encoded = wire.encode(ArrayReduction(4096, data=data), encoding="sparse")
+    assert encoded.encoding == "sparse"
+    assert len(encoded.blob) < len(encoded.dense) / 10
+    decoded = wire.decode(encoded.blob)
+    assert decoded.robj.to_bytes() == encoded.dense
+
+
+def test_sparse_preserves_negative_zero():
+    data = np.zeros(64)
+    data[3] = -0.0  # bitwise different from the +0.0 identity
+    robj = ArrayReduction(64, data=data)
+    encoded = wire.encode(robj, encoding="sparse")
+    assert wire.decode(encoded.blob).robj.to_bytes() == robj.to_bytes()
+
+
+def test_auto_picks_the_smallest_candidate():
+    data = np.zeros(4096)
+    data[1] = 1.0
+    robj = ArrayReduction(4096, data=data)
+    auto = wire.encode(robj, encoding="auto")
+    explicit = min(
+        (wire.encode(robj, encoding=e) for e in ("dense", "sparse")),
+        key=lambda enc: len(enc.blob),
+    )
+    assert len(auto.blob) <= len(explicit.blob)
+
+
+def test_legacy_envelope_is_accepted():
+    robj = ScalarReduction("sum", 3.5)
+    decoded = wire.decode(robj.to_bytes())
+    assert decoded.encoding == "dense" and decoded.robj.value() == 3.5
+
+
+def test_delta_without_baseline_is_rejected():
+    robj = ArrayReduction(8, data=np.arange(8.0))
+    baseline = wire.encode(robj, encoding="dense").dense
+    blob = wire.encode(
+        ArrayReduction(8, data=np.arange(8.0) + 1),
+        encoding="delta",
+        baseline=baseline,
+    ).blob
+    with pytest.raises(ReductionError, match="baseline"):
+        wire.decode(blob)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    robj=reduction_objects(),
+    encoding=st.sampled_from(["dense", "sparse"]),
+    compress=st.sampled_from(COMPRESSIONS),
+    cut=st.integers(0, 200),
+)
+def test_truncated_blobs_raise_reduction_error(robj, encoding, compress, cut):
+    blob = wire.encode(robj, encoding=encoding, compress=compress).blob
+    truncated = blob[: min(cut, len(blob) - 1)]
+    try:
+        decoded = wire.decode(truncated)
+    except ReductionError:
+        return
+    # A truncation that still parses must not silently corrupt: the only
+    # acceptable parse is one that kept the full original body.
+    assert decoded.robj.to_bytes() == robj.to_bytes()
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    robj=reduction_objects(),
+    encoding=st.sampled_from(["dense", "sparse"]),
+    compress=st.sampled_from(COMPRESSIONS),
+    pos=st.integers(0, 10_000),
+    flip=st.integers(1, 255),
+)
+def test_corrupted_blobs_never_leak_raw_exceptions(
+    robj, encoding, compress, pos, flip
+):
+    blob = bytearray(wire.encode(robj, encoding=encoding, compress=compress).blob)
+    blob[pos % len(blob)] ^= flip
+    try:
+        wire.decode(bytes(blob))
+    except ReductionError:
+        pass  # rejection is the expected outcome; anything else must not raise
+
+
+def test_lz4_gating():
+    robj = ArrayReduction(256, data=np.arange(256.0))
+    if wire.lz4_available():
+        encoded = wire.encode(robj, compress="lz4")
+        assert wire.decode(encoded.blob).robj.to_bytes() == robj.to_bytes()
+    else:
+        with pytest.raises(ReductionError, match="lz4"):
+            wire.encode(robj, compress="lz4")
+
+
+def test_unknown_knobs_are_rejected():
+    robj = ScalarReduction("sum", 1.0)
+    with pytest.raises(ReductionError, match="encoding"):
+        wire.encode(robj, encoding="huffman")
+    with pytest.raises(ReductionError, match="compression"):
+        wire.encode(robj, compress="zstd")
+
+
+def test_unsupported_wire_version_is_rejected():
+    blob = bytearray(wire.encode(ScalarReduction("sum", 1.0)).blob)
+    blob[2] = 99  # version byte
+    with pytest.raises(ReductionError, match="version"):
+        wire.decode(bytes(blob))
