@@ -19,10 +19,21 @@ import timeit
 
 import pytest
 
-from repro.config import CLOUD_SITE, LOCAL_SITE, DatasetSpec, MiddlewareTuning, PlacementSpec
+from repro.apps import make_bundle
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    MiddlewareTuning,
+    PlacementSpec,
+)
 from repro.core.index import build_index
 from repro.core.scheduler import HeadScheduler
-from repro.obs import EventLog, MetricsRegistry, to_perfetto
+from repro.data.dataset import build_dataset
+from repro.obs import EventLog, MetricsRegistry, RunMonitor, to_perfetto
+from repro.runtime.driver import CloudBurstingRuntime
+from repro.storage.objectstore import ObjectStore
 
 
 def drive_scheduler(trace=None) -> int:
@@ -83,6 +94,63 @@ def test_disabled_hook_overhead_under_two_percent():
     assert fraction < 0.02, (
         f"disabled trace hooks cost {fraction * 100:.2f}% of the "
         f"scheduler micro-bench ({overhead * 1e6:.0f}us over {best * 1e3:.1f}ms)"
+    )
+
+
+def _wordcount_runtime(units: int, *, monitor: RunMonitor | None = None):
+    bundle = make_bundle("wordcount", units)
+    rb = bundle.schema.record_bytes
+    spec = DatasetSpec(
+        total_bytes=units * rb,
+        num_files=4,
+        chunk_bytes=(units // 16) * rb,
+        record_bytes=rb,
+    )
+    stores = {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+    index = build_dataset(
+        spec, PlacementSpec(0.5), bundle.schema, bundle.block_fn, stores
+    )
+    return CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=2, cloud_cores=2),
+        monitor=monitor,
+    )
+
+
+def test_monitor_overhead_under_two_percent():
+    """The live run monitor must be invisible: disabled (the default) the
+    driver constructs no machinery at all, and even an *enabled* monitor
+    at a realistic interval — sampler thread, probe closure, sample ring —
+    costs < 2 % of a small runtime workload. Paired min-of-reps timing
+    with alternating order, same discipline as bench_sync's default-spec
+    bound."""
+    import timeit as _timeit
+
+    units = 16384
+    bare = _wordcount_runtime(units)
+    assert bare.monitor is None  # disabled-by-default builds nothing
+    monitor = RunMonitor(0.02)
+    monitored = _wordcount_runtime(units, monitor=monitor)
+
+    reps, number = 8, 2
+    bare_times, monitored_times = [], []
+    for i in range(reps):
+        pair = [("bare", bare), ("monitored", monitored)]
+        if i % 2:
+            pair.reverse()
+        for label, runtime in pair:
+            t = _timeit.timeit(runtime.run, number=number)
+            (bare_times if label == "bare" else monitored_times).append(t)
+    t_bare = min(bare_times) / number
+    t_monitored = min(monitored_times) / number
+    assert monitor.samples_taken > 0  # it really sampled
+    overhead = (t_monitored - t_bare) / t_bare
+    print(f"\nmonitor overhead: bare {t_bare * 1e3:.2f}ms, "
+          f"monitored {t_monitored * 1e3:.2f}ms -> {overhead * 100:+.2f}% "
+          f"({monitor.samples_taken} samples)")
+    assert overhead < 0.02, (
+        f"enabled monitor costs {overhead * 100:.2f}% "
+        f"({t_bare * 1e3:.2f}ms -> {t_monitored * 1e3:.2f}ms)"
     )
 
 

@@ -1,18 +1,60 @@
-"""Capstone bench — the full reproduction scorecard.
+"""Capstone bench — the reproduction scorecard and the perf snapshot.
 
-Runs the complete evaluation (Figure 3 + Figure 4 for all three
-applications) and grades every claim the paper makes. The printed
-scorecard is the one-screen summary of the reproduction; the bench fails
-if any claim fails.
+Two artifacts live here:
+
+* **Claim scorecard** (``test_scorecard``) — runs the complete evaluation
+  (Figure 3 + Figure 4 for all three applications) and grades every claim
+  the paper makes; fails if any claim fails.
+* **Perf-regression snapshot** (``main``) — collects the repo's headline
+  performance numbers into one machine-readable document: figure-3
+  makespans, the chunk cache's second-pass payoff, the sync stack's
+  WAN-byte cut, and (informational) micro wall-clock timings. CI runs
+  ``python bench_scorecard.py --smoke --json BENCH_scorecard.json --check``
+  and fails when any deterministic metric drifts beyond tolerance from
+  the committed ``BENCH_baseline.json``. Regenerate the baseline with
+  ``--smoke --write-baseline`` after an intentional perf change.
+
+The gated sections (figure3 / cache / sync) are simulator makespans and
+byte counts — deterministic for a given seed, so the default 10 %
+tolerance only has to absorb float-summation jitter, not machine speed.
+The ``micro`` section is wall clock and therefore never gated.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import timeit
+
 import pytest
 
+from repro.bench.configs import env_config
+from repro.bench.experiments import run_figure3
 from repro.bench.validate import evaluate_claims, render_scorecard
+from repro.cache import ChunkCache
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    MiddlewareTuning,
+    PlacementSpec,
+)
+from repro.core.sync import SyncSpec
+from repro.apps import make_bundle
+from repro.data.dataset import build_dataset
+from repro.runtime.driver import CloudBurstingRuntime
+from repro.sim.simulation import CloudBurstSimulation
+from repro.storage.objectstore import ObjectStore
 
 from conftest import print_block
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")
+
+#: Snapshot sections that are wall-clock measurements: recorded for the
+#: artifact, never compared against the baseline.
+INFORMATIONAL = ("micro",)
 
 
 @pytest.mark.benchmark(group="scorecard")
@@ -23,3 +65,273 @@ def test_scorecard(benchmark):
     assert not failed, f"failed claims: {[c.claim_id for c in failed]}"
     # Sanity: the scorecard actually covers the whole evaluation.
     assert len(claims) >= 15
+
+
+# -- snapshot collection -----------------------------------------------------
+
+
+def collect_figure3(*, scale: float, seed: int) -> dict:
+    """Knn makespans per environment — the headline sim numbers."""
+    run = run_figure3("knn", scale=scale, seed=seed)
+    return {
+        env: round(report.makespan, 3) for env, report in run.reports.items()
+    }
+
+
+def collect_cache(*, scale: float, seed: int) -> dict:
+    """Two kmeans passes over one chunk cache: pass 2 pays no WAN reads."""
+    config = env_config("kmeans", "env-33/67", scale=scale, seed=seed)
+    sim = CloudBurstSimulation(config, cache=ChunkCache(1 << 34))
+    first = sim.run()
+    second = sim.run()
+    assert second.cache_hits > 0, "second pass never hit the cache"
+    assert second.makespan < first.makespan, (
+        "cached second pass should beat the cold first pass"
+    )
+    return {
+        "pass1_makespan": round(first.makespan, 3),
+        "pass2_makespan": round(second.makespan, 3),
+        "pass2_hits": second.cache_hits,
+        "pass2_misses": second.cache_misses,
+    }
+
+
+def collect_sync(*, units: int, iterations: int, seed: int) -> dict:
+    """Iterative pagerank through delta+zlib: cumulative WAN-byte cut.
+
+    Stealing is disabled so each cluster's reduction object covers a fixed
+    job set — the byte counts then only wobble with float-summation order,
+    well inside the comparison tolerance.
+    """
+    bundle = make_bundle("pagerank", units, seed=seed)
+    rb = bundle.schema.record_bytes
+    spec = DatasetSpec(
+        total_bytes=units * rb,
+        num_files=4,
+        chunk_bytes=(units // 16) * rb,
+        record_bytes=rb,
+    )
+    stores = {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+    index = build_dataset(
+        spec, PlacementSpec(0.5), bundle.schema, bundle.block_fn, stores
+    )
+    runtime = CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=2, cloud_cores=2),
+        tuning=MiddlewareTuning(
+            units_per_group=max(units // 16, 256), allow_stealing=False
+        ),
+        sync=SyncSpec(encoding="delta", compress="zlib"),
+        seed=seed,
+    )
+    wire = dense = 0
+    for _ in range(iterations):
+        result = runtime.run()
+        t = result.telemetry
+        wire += t.sync_bytes_sent
+        dense += t.sync_bytes_sent + t.sync_bytes_saved
+        bundle.app.update(result.value)
+    assert wire > 0 and dense > wire
+    return {
+        "iterations": iterations,
+        "wire_bytes": wire,
+        "dense_bytes": dense,
+        "cut": round(dense / wire, 2),
+    }
+
+
+def collect_micro(*, seed: int) -> dict:
+    """Wall-clock micro timings — informational, never gated."""
+    from bench_obs import drive_scheduler
+
+    from repro.obs import EventLog
+
+    reps = 5
+    scheduler_s = min(
+        timeit.timeit(drive_scheduler, number=1) for _ in range(reps)
+    )
+    log = EventLog()
+    log.start()
+    emit_n = 20_000
+    emit_s = min(
+        timeit.timeit(
+            lambda: log.emit("job_done", worker=0, job_id=1), number=emit_n
+        )
+        for _ in range(reps)
+    )
+    return {
+        "scheduler_960_jobs_ms": round(scheduler_s * 1e3, 3),
+        "emit_us": round(emit_s / emit_n * 1e6, 3),
+    }
+
+
+def collect_snapshot(*, smoke: bool, seed: int) -> dict:
+    """The full perf snapshot. ``smoke`` shrinks every workload; the
+    committed baseline is a smoke snapshot, so CI compares like for like
+    (the ``config`` section is checked for equality before any metric)."""
+    scale = 0.05 if smoke else 1.0
+    sync_units, sync_iters = (8192, 2) if smoke else (65536, 8)
+    return {
+        "config": {
+            "smoke": smoke,
+            "seed": seed,
+            "scale": scale,
+            "sync_units": sync_units,
+            "sync_iterations": sync_iters,
+        },
+        "figure3": collect_figure3(scale=scale, seed=seed),
+        "cache": collect_cache(scale=scale, seed=seed),
+        "sync": collect_sync(
+            units=sync_units, iterations=sync_iters, seed=seed
+        ),
+        "micro": collect_micro(seed=seed),
+    }
+
+
+# -- baseline comparison -----------------------------------------------------
+
+
+def flatten(doc: dict, prefix: str = "") -> dict:
+    out = {}
+    for key, value in doc.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten(value, f"{path}."))
+        else:
+            out[path] = value
+    return out
+
+
+def compare(current: dict, baseline: dict, *, tolerance: float = 0.10) -> list[str]:
+    """Drift report: one line per metric outside tolerance; empty = pass.
+
+    Informational sections are skipped; the ``config`` section must match
+    exactly (comparing a smoke snapshot against a full-scale baseline is a
+    harness bug, not a regression).
+    """
+    problems = []
+    if current.get("config") != baseline.get("config"):
+        problems.append(
+            f"snapshot config mismatch: {current.get('config')} vs "
+            f"baseline {baseline.get('config')}"
+        )
+        return problems
+    cur = flatten(current)
+    for key, base_value in sorted(flatten(baseline).items()):
+        section = key.split(".", 1)[0]
+        if section in INFORMATIONAL or section == "config":
+            continue
+        value = cur.get(key)
+        if value is None:
+            problems.append(f"{key}: missing from current snapshot")
+            continue
+        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+            if value != base_value:
+                problems.append(f"{key}: {value!r} != baseline {base_value!r}")
+            continue
+        drift = abs(value - base_value) / max(abs(base_value), 1e-9)
+        if drift > tolerance:
+            problems.append(
+                f"{key}: {value} vs baseline {base_value} "
+                f"({drift * 100:.1f}% drift > {tolerance * 100:.0f}%)"
+            )
+    return problems
+
+
+def render_snapshot(doc: dict) -> str:
+    lines = []
+    for section, values in doc.items():
+        if section == "config":
+            continue
+        tag = " (informational)" if section in INFORMATIONAL else ""
+        lines.append(f"{section}{tag}:")
+        for key, value in values.items():
+            lines.append(f"  {key:<22} {value}")
+    return "\n".join(lines)
+
+
+# -- unit tests for the comparison harness (cheap, no workloads) -------------
+
+
+def test_compare_passes_identical_snapshots():
+    doc = {"config": {"smoke": True}, "figure3": {"env-local": 100.0}}
+    assert compare(doc, doc) == []
+
+
+def test_compare_flags_drift_beyond_tolerance():
+    base = {"config": {"smoke": True}, "sync": {"wire_bytes": 1000}}
+    worse = {"config": {"smoke": True}, "sync": {"wire_bytes": 1200}}
+    assert compare(worse, base, tolerance=0.10)
+    assert not compare(worse, base, tolerance=0.25)
+
+
+def test_compare_skips_informational_and_checks_config():
+    base = {"config": {"smoke": True}, "micro": {"emit_us": 1.0}}
+    fast = {"config": {"smoke": True}, "micro": {"emit_us": 99.0}}
+    assert compare(fast, base) == []
+    full = {"config": {"smoke": False}, "micro": {"emit_us": 1.0}}
+    assert compare(full, base)  # config mismatch is always a failure
+
+
+def test_compare_reports_missing_metric():
+    base = {"config": {}, "cache": {"pass2_hits": 320}}
+    assert compare({"config": {}, "cache": {}}, base)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized workloads (the committed baseline is a smoke run)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the snapshot to PATH as JSON"
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=BASELINE_PATH,
+        help="baseline snapshot to compare against (default: committed)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when any gated metric drifts beyond tolerance",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="overwrite the baseline with this run's snapshot",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument("--seed", type=int, default=2011)
+    args = parser.parse_args(argv)
+
+    snapshot = collect_snapshot(smoke=args.smoke, seed=args.seed)
+    print(render_snapshot(snapshot))
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+        print(f"wrote baseline {args.baseline}")
+        return 0
+    if args.check:
+        if not os.path.isfile(args.baseline):
+            print(f"error: no baseline at {args.baseline} "
+                  f"(run with --write-baseline first)")
+            return 1
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = compare(snapshot, baseline, tolerance=args.tolerance)
+        if problems:
+            print(f"\nFAIL: {len(problems)} metric(s) drifted from baseline:")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        print(f"\nok: every gated metric within {args.tolerance * 100:.0f}% "
+              f"of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -137,6 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--local-fraction", type=float, default=0.5,
                    help="fraction of --runtime data stored locally")
     p.add_argument("--width", type=int, default=72)
+    p.add_argument("--critical-path", action="store_true",
+                   help="print the causal critical path through the makespan")
     p.add_argument("--out", metavar="TRACE.jsonl",
                    help="also write the event stream as JSONL")
     p.add_argument("--perfetto", metavar="TRACE.json",
@@ -147,8 +149,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("trace", help="JSONL file written by `trace --out`")
     p.add_argument("--width", type=int, default=72)
+    p.add_argument("--critical-path", action="store_true",
+                   help="print the causal critical path through the makespan")
     p.add_argument("--perfetto", metavar="TRACE.json",
                    help="also convert the trace to Perfetto JSON")
+
+    p = sub.add_parser(
+        "watch",
+        help="execute an app in the real runtime with a live top-style "
+        "health feed (pool depth, utilization, cache, ETA)",
+    )
+    p.add_argument("app")
+    p.add_argument("--units", type=int, default=8192,
+                   help="data units for the in-memory dataset")
+    p.add_argument("--local-cores", type=int, default=2)
+    p.add_argument("--cloud-cores", type=int, default=2)
+    p.add_argument("--local-fraction", type=float, default=0.5,
+                   help="fraction of data stored locally")
+    p.add_argument("--interval", type=float, default=0.2, metavar="SECONDS",
+                   help="sampling interval for the health feed")
+    p.add_argument("--iterations", type=int, default=1, metavar="N",
+                   help="run N passes (iterative apps only)")
 
     p = sub.add_parser(
         "multisite", help="simulate an N-site experiment from a JSON config"
@@ -513,6 +534,11 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     util = utilization(trace, report.makespan)
     mean_idle = sum(u["idle"] for u in util.values()) / len(util)
     print(f"\nmean worker idle fraction: {mean_idle * 100:.1f}%")
+    if args.critical_path:
+        from .obs import critical_path, render_critical_path
+
+        print()
+        print(render_critical_path(critical_path(trace, report.makespan)))
     _export_trace(trace, args)
 
 
@@ -558,7 +584,9 @@ def _trace_runtime(args: argparse.Namespace) -> None:
           f"{args.local_cores}+{args.cloud_cores} cores): "
           f"wall {result.telemetry.wall_seconds:.3f}s, "
           f"{result.telemetry.total_stolen} jobs stolen\n")
-    print(render_report(trace, width=args.width))
+    print(render_report(
+        trace, width=args.width, show_critical_path=args.critical_path
+    ))
     _export_trace(trace, args)
 
 
@@ -566,11 +594,68 @@ def _cmd_report(args: argparse.Namespace) -> None:
     from .obs import read_jsonl, render_report, write_perfetto
 
     trace = read_jsonl(args.trace)
-    print(render_report(trace, width=args.width))
+    print(render_report(
+        trace, width=args.width, show_critical_path=args.critical_path
+    ))
     if args.perfetto:
         count = write_perfetto(trace, args.perfetto)
         print(f"\nwrote {count} trace events to {args.perfetto} "
               f"(open in https://ui.perfetto.dev)")
+
+
+def _sample_line(sample) -> str:
+    """One top-style feed line for a :class:`~repro.obs.live.RunSample`."""
+    eta = f"{sample.eta_seconds:6.1f}s" if sample.eta_seconds is not None else "     --"
+    return (
+        f"{sample.time:7.2f}s  {sample.progress * 100:5.1f}%  "
+        f"{sample.jobs_done:>5}/{sample.jobs_total:<5}  "
+        f"pool {sample.pool_depth:>4}  run {sample.in_flight:>3}  "
+        f"steal {sample.steals:>3}  util {sample.utilization * 100:5.1f}%  "
+        f"cache {sample.cache_hit_ratio * 100:5.1f}%  eta {eta}"
+    )
+
+
+def _cmd_watch(args: argparse.Namespace) -> None:
+    from .apps import make_bundle
+    from .config import ComputeSpec, DatasetSpec, PlacementSpec
+    from .facade import RunConfig
+    from .facade import run as run_app
+
+    files, chunks_per_file = 4, 4
+    chunks = files * chunks_per_file
+    if args.units % chunks != 0:
+        raise ConfigurationError(f"--units must be divisible by {chunks}")
+    if args.interval <= 0:
+        raise ConfigurationError("--interval must be positive")
+    bundle = make_bundle(args.app, args.units, seed=args.seed)
+    rb = bundle.schema.record_bytes
+    spec = DatasetSpec(
+        total_bytes=args.units * rb,
+        num_files=files,
+        chunk_bytes=(args.units // chunks) * rb,
+        record_bytes=rb,
+    )
+    print(f"{args.app} (real runtime, {args.units} units, "
+          f"{args.local_cores}+{args.cloud_cores} cores, "
+          f"sampling every {args.interval}s)")
+    print(f"{'time':>8}  {'prog':>5}  {'done':>11}  pool       run  "
+          f"steal      util         cache        eta")
+    config = RunConfig(
+        mode="runtime",
+        placement=PlacementSpec(args.local_fraction),
+        compute=ComputeSpec(
+            local_cores=args.local_cores, cloud_cores=args.cloud_cores
+        ),
+        seed=args.seed,
+        iterations=args.iterations,
+        monitor_interval=args.interval,
+        on_sample=lambda sample: print(_sample_line(sample), flush=True),
+    )
+    result = run_app(bundle, spec, config)
+    t = result.telemetry
+    print(f"\ndone: wall {t.wall_seconds:.3f}s, {t.total_jobs} jobs "
+          f"({t.total_stolen} stolen), {len(result.samples)} samples"
+          + (f", {result.passes} passes" if result.passes > 1 else ""))
 
 
 def _cmd_multisite(args: argparse.Namespace) -> None:
@@ -656,6 +741,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
     "report": _cmd_report,
+    "watch": _cmd_watch,
     "multisite": _cmd_multisite,
     "sweep": _cmd_sweep,
     "stealing": _cmd_stealing,

@@ -63,11 +63,11 @@ class HeadScheduler:
         trace=None,
     ) -> None:
         self.tuning = tuning or MiddlewareTuning()
-        #: Optional :class:`repro.obs.events.EventLog`. The executable
-        #: runtime passes its log so steal decisions land on the timeline;
-        #: the simulator leaves this ``None`` (wall-clock stamps would be
-        #: meaningless in simulated time — SimMaster records assignment
-        #: events itself at ``env.now``).
+        #: Optional trace sink with an ``emit(kind, **fields)`` method so
+        #: steal decisions land on the timeline: the executable runtime
+        #: passes its :class:`repro.obs.events.EventLog` directly, the
+        #: simulator an adapter that re-stamps each event at ``env.now``
+        #: (wall-clock stamps would be meaningless in simulated time).
         self.trace = trace
         self._rng = random.Random(seed)
         # Pending jobs per file, ordered by chunk index so consecutive

@@ -145,6 +145,9 @@ class DatasetReader:
         self._breakers: dict[str, CircuitBreaker] = {}
         self._retrievers: dict[tuple[str, int], ChunkRetriever] = {}
         self._lock = threading.Lock()
+        #: Cross-site chunk fetches served (cache hits excluded) — a cheap
+        #: always-on gauge the live run monitor probes.
+        self.remote_fetches = 0
         self._remote_bytes = (
             self.metrics.counter("remote_bytes")
             if self.metrics is not None
@@ -204,6 +207,7 @@ class DatasetReader:
             if cached is not None:
                 return cached
         if remote:
+            self.remote_fetches += 1
             if self.trace is not None:
                 self.trace.emit(
                     "remote_fetch", job_id=job.job_id, file_id=job.file_id,

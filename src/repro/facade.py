@@ -45,6 +45,7 @@ from .core.sync import SyncSpec
 from .data.dataset import DatasetReader, build_dataset
 from .errors import ConfigurationError
 from .obs.events import EventLog
+from .obs.live import RunMonitor, RunSample, samples_from_log
 from .obs.metrics import MetricsRegistry
 from .resilience.faults import FaultInjector, FaultSpec
 from .resilience.retry import RetryPolicy
@@ -72,7 +73,10 @@ class RunConfig:
       :class:`~repro.config.ExperimentConfig` takes;
     * ``faults`` — a :class:`~repro.resilience.FaultSpec` or its text form
       (``"transient=0.1,seed=7"``); wraps every store in a
-      :class:`~repro.resilience.FaultInjector` (serial and runtime modes);
+      :class:`~repro.resilience.FaultInjector` (serial and runtime
+      modes). Simulate mode models the spec's ``latency``/``slow``
+      degradations as extra virtual transfer time (transient/permanent
+      read errors are retry mechanics the simulator does not model);
     * ``retry`` — a :class:`~repro.resilience.RetryPolicy` for the data
       path. Defaults to ``RetryPolicy()`` whenever faults are active so a
       chaos run completes out of the box;
@@ -99,7 +103,18 @@ class RunConfig:
       barrier. The defaults reproduce the paper's star/dense/barrier path
       with zero new machinery. Runtime mode executes all of it; simulate
       mode models topology and streaming, charging encoded uploads
-      ``sync_ratio`` of their dense bytes.
+      ``sync_ratio`` of their dense bytes;
+    * ``monitor_interval`` — live run-health sampling every that many
+      seconds (:mod:`repro.obs.live`): pool depth, steal rate, cache
+      hit ratio, sync bytes, utilization, and a completion-rate ETA,
+      kept as a bounded ring of ``monitor_capacity``
+      :class:`~repro.obs.live.RunSample` on ``RunResult.samples``.
+      ``on_sample`` is called with each sample as it lands. Runtime
+      mode samples the live run on a wall-clock interval; simulate mode
+      reconstructs the identical sample stream from the trace on a
+      virtual-time interval (so it requires ``trace``); serial mode has
+      no cluster to watch and takes no samples. ``0.0`` (the default)
+      constructs no monitoring machinery at all.
 
     ``app_params`` is forwarded to the application factory when the app is
     given as a registry key (e.g. ``{"k": 8}`` for knn).
@@ -130,6 +145,9 @@ class RunConfig:
     sync_watermark: int = 8
     sync_fanout: int = 2
     sync_ratio: float = 1.0
+    monitor_interval: float = 0.0
+    monitor_capacity: int = 512
+    on_sample: Callable[[RunSample], None] | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -146,6 +164,23 @@ class RunConfig:
             raise ConfigurationError("iterations must be at least 1")
         if self.converge is not None and self.converge < 0:
             raise ConfigurationError("converge tolerance cannot be negative")
+        if self.monitor_interval < 0:
+            raise ConfigurationError("monitor_interval cannot be negative")
+        if self.monitor_capacity <= 0:
+            raise ConfigurationError("monitor_capacity must be positive")
+        if self.on_sample is not None and self.monitor_interval <= 0:
+            raise ConfigurationError(
+                "on_sample needs monitor_interval > 0 to ever be called"
+            )
+        if (
+            self.monitor_interval > 0
+            and self.mode == "simulate"
+            and self.trace is None
+        ):
+            raise ConfigurationError(
+                "simulate-mode monitoring reconstructs samples from the "
+                "event log; pass trace=EventLog() alongside monitor_interval"
+            )
         # Build once to validate every sync knob (raises ConfigurationError
         # on a bad value); the result is cheap to reconstruct on demand.
         SyncSpec(
@@ -214,7 +249,11 @@ class RunResult:
     is measured wall-clock for executable modes and the simulated makespan
     for simulate mode; for iterative runs both cover every pass.
     ``passes`` counts the passes actually run (< ``config.iterations``
-    when ``converge`` stopped the run early).
+    when ``converge`` stopped the run early). ``samples`` is the run's
+    health timeline — :class:`~repro.obs.live.RunSample` snapshots taken
+    every ``config.monitor_interval`` seconds — empty unless monitoring
+    was enabled (runtime samples live, simulate reconstructs from the
+    trace, serial never samples).
     """
 
     value: Any
@@ -223,6 +262,7 @@ class RunResult:
     telemetry: RunTelemetry | None = None
     sim_report: SimReport | None = None
     passes: int = 1
+    samples: list[RunSample] = field(default_factory=list)
 
 
 def _resolve_bundle(
@@ -382,28 +422,39 @@ def _run_simulate(
     cache = config.make_cache()
     report: SimReport | None = None
     total_makespan = 0.0
-    hits = misses = 0
+    hits = misses = faults = 0
     sim = CloudBurstSimulation(
         experiment,
         profile=profile,
         trace=config.trace,
         cache=cache,
         sync=config.sync_spec,
+        faults=config.fault_spec,
     )
     for _ in range(config.iterations):
         report = sim.run()
         total_makespan += report.makespan
         hits += report.cache_hits
         misses += report.cache_misses
+        faults += report.faults_injected
     assert report is not None
     report.cache_hits = hits
     report.cache_misses = misses
+    report.faults_injected = faults
+    samples: list[RunSample] = []
+    if config.monitor_interval > 0 and config.trace is not None:
+        # Virtual time: "live" sampling is a post-hoc replay of the trace.
+        samples = samples_from_log(config.trace, config.monitor_interval)
+        if config.on_sample is not None:
+            for sample in samples:
+                config.on_sample(sample)
     return RunResult(
         value=None,
         mode="simulate",
         wall_seconds=total_makespan,
         sim_report=report,
         passes=config.iterations,
+        samples=samples,
     )
 
 
@@ -412,6 +463,13 @@ def _run_runtime(
 ) -> RunResult:
     bundle = _resolve_bundle(app, dataset, config)
     index, stores = _build_stores(bundle, dataset, config)
+    monitor: RunMonitor | None = None
+    if config.monitor_interval > 0:
+        monitor = RunMonitor(
+            config.monitor_interval, capacity=config.monitor_capacity
+        )
+        if config.on_sample is not None:
+            monitor.subscribe(config.on_sample)
     runtime = CloudBurstingRuntime(
         bundle.app,
         index,
@@ -426,6 +484,7 @@ def _run_runtime(
         cache=config.make_cache(),
         prefetch=config.prefetch,
         sync=config.sync_spec,
+        monitor=monitor,
     )
     iterating = config.iterations > 1
     update = _update_hook(bundle, config) if iterating else (lambda value: None)
@@ -463,6 +522,7 @@ def _run_runtime(
         wall_seconds=total_wall,
         telemetry=telemetry,
         passes=passes,
+        samples=monitor.samples() if monitor is not None else [],
     )
 
 

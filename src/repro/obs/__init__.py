@@ -3,12 +3,27 @@
 One event vocabulary, one analysis toolkit, one set of exporters — so a
 simulated run and a real :class:`~repro.runtime.driver.CloudBurstingRuntime`
 run render identically (Gantt charts, utilization tables, Perfetto
-timelines). See ``docs/OBSERVABILITY.md`` for the event schema and the
-export formats.
+timelines, causal job spans, critical paths, live run-health samples).
+See ``docs/OBSERVABILITY.md`` for the event schema and the export
+formats.
 """
 
 from .analysis import Interval, render_gantt, utilization, worker_intervals
-from .events import KINDS, RUNTIME_KINDS, SIM_KINDS, EventLog, TraceEvent
+from .anomaly import (
+    Straggler,
+    StragglerReport,
+    annotate,
+    detect_stragglers,
+    render_stragglers,
+)
+from .events import (
+    ANALYSIS_KINDS,
+    KINDS,
+    RUNTIME_KINDS,
+    SIM_KINDS,
+    EventLog,
+    TraceEvent,
+)
 from .export import (
     event_to_dict,
     read_jsonl,
@@ -17,6 +32,7 @@ from .export import (
     write_jsonl,
     write_perfetto,
 )
+from .live import RunMonitor, RunSample, samples_from_log
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -24,11 +40,23 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .spans import (
+    PHASES,
+    CriticalSegment,
+    JobSpan,
+    Phase,
+    build_spans,
+    critical_path,
+    phase_totals,
+    render_critical_path,
+    span_summary,
+)
 
 __all__ = [
     "KINDS",
     "SIM_KINDS",
     "RUNTIME_KINDS",
+    "ANALYSIS_KINDS",
     "TraceEvent",
     "EventLog",
     "Interval",
@@ -46,4 +74,21 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PHASES",
+    "Phase",
+    "JobSpan",
+    "CriticalSegment",
+    "build_spans",
+    "phase_totals",
+    "critical_path",
+    "render_critical_path",
+    "span_summary",
+    "RunSample",
+    "RunMonitor",
+    "samples_from_log",
+    "Straggler",
+    "StragglerReport",
+    "detect_stragglers",
+    "annotate",
+    "render_stragglers",
 ]

@@ -22,12 +22,20 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..errors import TraceError
 
-__all__ = ["KINDS", "SIM_KINDS", "RUNTIME_KINDS", "TraceEvent", "EventLog"]
+__all__ = [
+    "KINDS",
+    "SIM_KINDS",
+    "RUNTIME_KINDS",
+    "ANALYSIS_KINDS",
+    "TraceEvent",
+    "EventLog",
+]
 
 #: Event kinds emitted by the simulated nodes (the original vocabulary).
 SIM_KINDS = (
@@ -63,8 +71,13 @@ RUNTIME_KINDS = (
     "sync_merge",  # an aggregation point folded in an arriving upload
 )
 
+#: Kinds produced post-hoc by the analysis layer (never by a node).
+ANALYSIS_KINDS = (
+    "straggler_detected",  # the anomaly detector flagged an outlier worker
+)
+
 #: The full shared vocabulary.
-KINDS = SIM_KINDS + RUNTIME_KINDS
+KINDS = SIM_KINDS + RUNTIME_KINDS + ANALYSIS_KINDS
 
 _KIND_SET = frozenset(KINDS)
 
@@ -90,10 +103,28 @@ class EventLog:
     runtime's path). The origin is set by the first :meth:`start`/
     :meth:`emit` call and kept across runs, so iterative workloads that
     reuse one log produce a single continuous timeline.
+
+    ``max_events`` bounds memory for long/iterative runs: once the cap
+    is hit the log becomes a ring — the oldest events fall off the front
+    and :attr:`events_dropped` counts the loss. The default (``None``)
+    keeps every event, unchanged from the original behaviour.
     """
 
-    def __init__(self, events: Iterable[TraceEvent] = ()) -> None:
-        self.events: list[TraceEvent] = list(events)
+    def __init__(
+        self,
+        events: Iterable[TraceEvent] = (),
+        *,
+        max_events: int | None = None,
+    ) -> None:
+        if max_events is not None and max_events <= 0:
+            raise TraceError(f"max_events must be positive, got {max_events}")
+        self.max_events = max_events
+        seed = list(events)
+        self.events_dropped = max(0, len(seed) - max_events) if max_events else 0
+        if max_events is None:
+            self.events: list[TraceEvent] = seed
+        else:
+            self.events = deque(seed, maxlen=max_events)  # type: ignore[assignment]
         self._lock = threading.Lock()
         self._origin: float | None = None
 
@@ -110,6 +141,11 @@ class EventLog:
             raise TraceError(f"unknown trace event kind {kind!r}")
         event = TraceEvent(time=time, kind=kind, **fields)
         with self._lock:
+            if (
+                self.max_events is not None
+                and len(self.events) == self.max_events
+            ):
+                self.events_dropped += 1
             self.events.append(event)
 
     def emit(self, kind: str, **fields: Any) -> None:

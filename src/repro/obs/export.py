@@ -21,7 +21,9 @@ from pathlib import Path
 
 from ..errors import TraceError
 from .analysis import render_gantt, utilization, worker_intervals
+from .anomaly import detect_stragglers, render_stragglers
 from .events import KINDS, EventLog, TraceEvent
+from .spans import PHASES, build_spans, critical_path, phase_totals, render_critical_path
 
 __all__ = [
     "event_to_dict",
@@ -81,6 +83,22 @@ def read_jsonl(path: str | Path) -> EventLog:
 #: Instant events hosted on the head node's track.
 _HEAD_KINDS = ("group_acked", "merge_done")
 
+#: Ownerless event families get a named track each instead of landing as
+#: anonymous process-scoped instants on the head track: the resilience
+#: layer (retry/hedge/circuit/fault events carry only ``detail``), the
+#: chunk cache (job/file ids but no worker), and the cross-site reader.
+_FAMILY_TRACKS = {
+    "retry": "resilience",
+    "hedge": "resilience",
+    "circuit_open": "resilience",
+    "circuit_close": "resilience",
+    "fault_injected": "resilience",
+    "cache_hit": "cache",
+    "cache_miss": "cache",
+    "cache_evict": "cache",
+    "remote_fetch": "storage",
+}
+
 _US = 1e6  # trace_event timestamps are microseconds
 
 
@@ -101,9 +119,10 @@ def to_perfetto(log: EventLog, *, process_name: str = "repro-run") -> dict:
     """Convert a trace to a Chrome ``trace_event`` document (a dict).
 
     Track layout: tid 0 is the head node, one tid per cluster master, one
-    tid per worker. Paired ``fetch``/``compute`` events become complete
-    ('X') slices named ``retrieval``/``processing``; everything else
-    becomes an instant ('i') event on its owner's track.
+    tid per worker, then one tid per ownerless event family present
+    (``resilience``, ``cache``, ``storage``). Paired ``fetch``/``compute``
+    events become complete ('X') slices named ``retrieval``/``processing``;
+    everything else becomes an instant ('i') event on its owner's track.
     """
     events = log.snapshot()
     snapshot = EventLog(events)
@@ -131,6 +150,20 @@ def to_perfetto(log: EventLog, *, process_name: str = "repro-run") -> dict:
         )
         label = f"w{worker:03d}" + (f" ({cluster})" if cluster else "")
         trace_events.extend(_thread_meta(pid, tid, label, tid))
+
+    family_tid: dict[str, int] = {}
+    families = sorted(
+        {
+            _FAMILY_TRACKS[e.kind]
+            for e in events
+            if e.kind in _FAMILY_TRACKS and e.worker < 0
+        }
+    )
+    fam_base = base + len(worker_tid)
+    for i, family in enumerate(families):
+        tid = fam_base + i
+        family_tid[family] = tid
+        trace_events.extend(_thread_meta(pid, tid, family, tid))
 
     # Complete slices: pair each worker's start/end events, keeping job ids.
     pairs = {
@@ -168,6 +201,9 @@ def to_perfetto(log: EventLog, *, process_name: str = "repro-run") -> dict:
             continue
         if event.worker >= 0 and event.kind not in _HEAD_KINDS:
             tid = worker_tid[event.worker]
+            scope = "t"
+        elif event.kind in _FAMILY_TRACKS:
+            tid = family_tid[_FAMILY_TRACKS[event.kind]]
             scope = "t"
         elif event.cluster and event.kind not in _HEAD_KINDS:
             tid = master_tid[event.cluster]
@@ -209,13 +245,19 @@ def write_perfetto(
 
 
 def render_report(
-    log: EventLog, makespan: float | None = None, *, width: int = 72
+    log: EventLog,
+    makespan: float | None = None,
+    *,
+    width: int = 72,
+    show_critical_path: bool = False,
 ) -> str:
-    """The plain-text run report: summary, Gantt chart, utilization table.
+    """The plain-text run report: summary, Gantt chart, utilization table,
+    per-phase span totals, and the straggler verdict.
 
     ``makespan`` defaults to the last event's timestamp, which is right
     for a trace read back from disk; pass the simulator's reported
-    makespan when you have it.
+    makespan when you have it. ``show_critical_path`` appends the causal
+    chain gating the makespan (also: ``repro trace --critical-path``).
     """
     if makespan is None:
         makespan = log.makespan()
@@ -245,4 +287,35 @@ def render_report(
     if util:
         mean_idle = sum(p["idle"] for p in util.values()) / len(util)
         lines.append(f"mean worker idle fraction: {mean_idle * 100:.1f}%")
+
+    # Span sections are best-effort: a partial or hand-built trace that
+    # cannot be paired into job cycles keeps its Gantt/utilization report.
+    try:
+        spans = build_spans(log)
+    except TraceError:
+        spans = []
+    if spans:
+        totals = phase_totals(spans)
+        lines.append("")
+        lines.append(
+            f"{len(spans)} job spans; per-phase seconds: "
+            + "  ".join(
+                f"{name}={totals[name]:.3f}" for name in PHASES if name in totals
+            )
+        )
+        stolen = sum(1 for s in spans if s.stolen)
+        reexec = sum(1 for s in spans if s.attempt > 1)
+        if stolen or reexec:
+            lines.append(
+                f"{stolen} spans on stolen groups, {reexec} re-execution(s)"
+            )
+        lines.append(render_stragglers(detect_stragglers(log)))
+        if show_critical_path:
+            lines.append("")
+            lines.append(render_critical_path(critical_path(log, makespan)))
+    if getattr(log, "events_dropped", 0):
+        lines.append(
+            f"warning: ring buffer dropped {log.events_dropped} oldest "
+            f"events (max_events={log.max_events})"
+        )
     return "\n".join(lines)

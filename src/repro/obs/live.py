@@ -1,0 +1,345 @@
+"""Live run-health monitoring: a periodic sampler over a running run.
+
+ROADMAP's elastic autoscaler and multi-run service both need to *watch*
+a run, not autopsy it: job-pool depth, steal rate, cache hit ratio,
+WAN/sync bytes, worker utilization, and a completion-rate ETA, sampled
+on an interval while the run executes. This module is that signal bus:
+
+* :class:`RunSample` — one immutable snapshot of run health;
+* :class:`RunMonitor` — a clock-injected periodic sampler. The runtime
+  binds it to a live probe (:meth:`RunMonitor.bind`) and it keeps a
+  bounded ring of samples plus a subscription callback API. Inject a
+  :class:`~repro.clock.FakeClock` and the sampler runs on virtual time —
+  tests never sleep;
+* :func:`samples_from_log` — the simulator's path: reconstruct the same
+  sample stream post-hoc from the event log, so both substrates feed
+  identical ``RunSample`` vocabularies to the same consumers.
+
+Enable via ``RunConfig(monitor_interval=0.5, on_sample=...)`` or drive
+interactively with the ``repro watch`` CLI. Disabled (the default) the
+runtime constructs none of this machinery.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..clock import SYSTEM_CLOCK, SystemClock
+from ..errors import TraceError
+from .analysis import worker_intervals
+from .events import EventLog
+
+__all__ = ["RunSample", "RunMonitor", "samples_from_log"]
+
+
+@dataclass(frozen=True)
+class RunSample:
+    """One snapshot of run health at a moment in run time."""
+
+    time: float
+    jobs_total: int
+    jobs_done: int
+    pool_depth: int
+    in_flight: int
+    steals: int
+    workers: int
+    workers_busy: int
+    cache_hits: int
+    cache_misses: int
+    sync_bytes_sent: int
+    remote_fetches: int
+    completion_rate: float  # jobs/second, run-average
+    eta_seconds: float | None  # None until the rate is observable
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        consulted = self.cache_hits + self.cache_misses
+        return self.cache_hits / consulted if consulted else 0.0
+
+    @property
+    def utilization(self) -> float:
+        return self.workers_busy / self.workers if self.workers else 0.0
+
+    @property
+    def progress(self) -> float:
+        return self.jobs_done / self.jobs_total if self.jobs_total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "jobs_total": self.jobs_total,
+            "jobs_done": self.jobs_done,
+            "pool_depth": self.pool_depth,
+            "in_flight": self.in_flight,
+            "steals": self.steals,
+            "workers": self.workers,
+            "workers_busy": self.workers_busy,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "sync_bytes_sent": self.sync_bytes_sent,
+            "remote_fetches": self.remote_fetches,
+            "completion_rate": self.completion_rate,
+            "eta_seconds": self.eta_seconds,
+            "utilization": self.utilization,
+        }
+
+
+#: A probe returns the raw gauges; the monitor derives rate/ETA/time.
+Probe = Callable[[], dict]
+
+_GAUGES = (
+    "jobs_total",
+    "jobs_done",
+    "pool_depth",
+    "in_flight",
+    "steals",
+    "workers",
+    "workers_busy",
+    "cache_hits",
+    "cache_misses",
+    "sync_bytes_sent",
+    "remote_fetches",
+)
+
+
+def _derive(raw: dict, now: float) -> RunSample:
+    gauges = {name: int(raw.get(name, 0)) for name in _GAUGES}
+    rate = gauges["jobs_done"] / now if now > 0 else 0.0
+    remaining = gauges["jobs_total"] - gauges["jobs_done"]
+    eta = remaining / rate if rate > 0 and remaining >= 0 else None
+    return RunSample(time=now, completion_rate=rate, eta_seconds=eta, **gauges)
+
+
+class RunMonitor:
+    """Clock-injected periodic sampler with a bounded sample ring.
+
+    Lifecycle: construct, :meth:`bind` a probe, :meth:`start`; the
+    sampler thread (spawned through the injected clock, so a
+    :class:`~repro.clock.FakeClock` coordinates it) takes one
+    :class:`RunSample` per ``interval`` until :meth:`stop`, which takes
+    one final sample so even sub-interval runs record their end state.
+    Subscribers are called synchronously on the sampler thread; a
+    subscriber that raises is counted in :attr:`callback_errors`, never
+    crashes the run.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        *,
+        capacity: int = 512,
+        clock: SystemClock | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise TraceError(f"monitor interval must be positive, got {interval}")
+        if capacity <= 0:
+            raise TraceError(f"monitor capacity must be positive, got {capacity}")
+        self.interval = interval
+        self.capacity = capacity
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
+        self._ring: deque[RunSample] = deque(maxlen=capacity)
+        self._subscribers: list[Callable[[RunSample], None]] = []
+        self._probe: Probe | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._t0: float | None = None
+        self.samples_taken = 0
+        self.callback_errors = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def bind(self, probe: Probe) -> None:
+        """Attach the live gauge source (the runtime driver's closure)."""
+        self._probe = probe
+
+    def subscribe(self, fn: Callable[[RunSample], None]) -> None:
+        """Register a callback invoked with every new sample."""
+        with self._lock:
+            self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[RunSample], None]) -> None:
+        with self._lock:
+            self._subscribers.remove(fn)
+
+    def samples(self) -> list[RunSample]:
+        """The retained ring, oldest first (a consistent copy)."""
+        with self._lock:
+            return list(self._ring)
+
+    @property
+    def last(self) -> RunSample | None:
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_now(self) -> RunSample:
+        """Take one sample synchronously (also used by the loop)."""
+        if self._probe is None:
+            raise TraceError("monitor has no probe bound")
+        t0 = self._t0 if self._t0 is not None else self._clock.monotonic()
+        sample = _derive(self._probe(), self._clock.monotonic() - t0)
+        with self._lock:
+            self._ring.append(sample)
+            subscribers = list(self._subscribers)
+        self.samples_taken += 1
+        for fn in subscribers:
+            try:
+                fn(sample)
+            except Exception:
+                self.callback_errors += 1
+        return sample
+
+    def start(self) -> None:
+        """Begin periodic sampling (idempotent per run: call once)."""
+        if self._probe is None:
+            raise TraceError("monitor has no probe bound")
+        if self._thread is not None and self._thread.is_alive():
+            raise TraceError("monitor is already running")
+        self._stop.clear()
+        self._t0 = self._clock.monotonic()
+        self._thread = self._clock.spawn(self._loop, name="run-monitor")
+
+    def stop(self) -> None:
+        """Stop the sampler and take one closing sample."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            advance = (
+                None
+                if isinstance(self._clock, SystemClock)
+                else getattr(self._clock, "advance", None)
+            )
+            if advance is not None:
+                # Virtual clock: the owner drives time, so the sampler is
+                # parked at its next deadline. Nudge the clock until it
+                # wakes, observes the stop flag, and exits.
+                for _ in range(100):
+                    if not thread.is_alive():
+                        break
+                    advance(self.interval)
+                    thread.join(timeout=0.05)
+            thread.join(timeout=30.0)
+            self._thread = None
+        if self._probe is not None and self._t0 is not None:
+            self.sample_now()
+
+    def _loop(self) -> None:
+        real_time = isinstance(self._clock, SystemClock)
+        while not self._stop.is_set():
+            if real_time:
+                # Event.wait doubles as the pacer and an immediate stop.
+                if self._stop.wait(self.interval):
+                    break
+            else:
+                # Virtual time: park on the clock; the owner advances it.
+                self._clock.sleep(self.interval)
+                if self._stop.is_set():
+                    break
+            self.sample_now()
+
+
+# -- post-hoc reconstruction (the simulator's path) -------------------------
+
+_GROUP_SIZE = re.compile(r"x(\d+)")
+_WIRE_BYTES = re.compile(r"(\d+)/\d+B")
+
+
+def samples_from_log(
+    log: EventLog,
+    interval: float,
+    *,
+    jobs_total: int | None = None,
+    makespan: float | None = None,
+) -> list[RunSample]:
+    """Reconstruct the monitor's sample stream from a finished trace.
+
+    The simulator runs in virtual time, so "live" sampling is just a
+    replay: one :class:`RunSample` per ``interval`` tick (plus a final
+    tick at the makespan), derived from the same event kinds the live
+    probe gauges. Both substrates therefore produce identical sample
+    vocabularies for identical runs.
+    """
+    if interval <= 0:
+        raise TraceError(f"sample interval must be positive, got {interval}")
+    if makespan is None:
+        makespan = log.makespan()
+    if makespan <= 0 or not len(log):
+        return []
+
+    events = sorted(log.snapshot(), key=lambda e: e.time)
+    done_times = sorted(e.time for e in events if e.kind == "job_done")
+    if jobs_total is None:
+        jobs_total = len(done_times)
+
+    assigned: list[tuple[float, int]] = []
+    for e in events:
+        if e.kind == "group_assigned":
+            m = _GROUP_SIZE.search(e.detail)
+            assigned.append((e.time, int(m.group(1)) if m else 0))
+    uploads: list[tuple[float, int]] = []
+    for e in events:
+        if e.kind == "sync_upload":
+            m = _WIRE_BYTES.search(e.detail)
+            uploads.append((e.time, int(m.group(1)) if m else 0))
+    steal_times = sorted(e.time for e in events if e.kind == "steal")
+    hit_times = sorted(e.time for e in events if e.kind == "cache_hit")
+    miss_times = sorted(e.time for e in events if e.kind == "cache_miss")
+    remote_times = sorted(e.time for e in events if e.kind == "remote_fetch")
+    start_times = sorted(e.time for e in events if e.kind == "fetch_start")
+
+    workers = log.workers()
+    busy: dict[int, list] = {
+        w: worker_intervals(log, w) for w in workers
+    }
+
+    def count_le(times: list[float], t: float) -> int:
+        lo, hi = 0, len(times)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if times[mid] <= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    ticks = []
+    t = interval
+    while t < makespan:
+        ticks.append(t)
+        t += interval
+    ticks.append(makespan)
+
+    out: list[RunSample] = []
+    for t in ticks:
+        jobs_done = count_le(done_times, t)
+        assigned_jobs = sum(n for at, n in assigned if at <= t)
+        started = count_le(start_times, t)
+        if not started:  # prefetch traces carry no fetch events
+            started = jobs_done
+        in_flight = max(0, started - jobs_done)
+        raw = {
+            "jobs_total": jobs_total,
+            "jobs_done": jobs_done,
+            "pool_depth": max(0, assigned_jobs - started),
+            "in_flight": in_flight,
+            "steals": count_le(steal_times, t),
+            "workers": len(workers),
+            "workers_busy": sum(
+                1
+                for w in workers
+                if any(iv.start <= t < iv.end for iv in busy[w])
+            ),
+            "cache_hits": count_le(hit_times, t),
+            "cache_misses": count_le(miss_times, t),
+            "sync_bytes_sent": sum(n for ut, n in uploads if ut <= t),
+            "remote_fetches": count_le(remote_times, t),
+        }
+        out.append(_derive(raw, t))
+    return out

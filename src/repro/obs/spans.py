@@ -1,0 +1,441 @@
+"""Causal per-job spans and the critical path through the makespan.
+
+The event stream records *occurrences*; this module reconstructs the
+*causal story* the paper's time decomposition implies (Figure 3, Tables
+I-II): each job's life as a span of ordered phases
+
+``queued -> fetch -> stall -> compute``
+
+chained per worker (a job is *queued* from the moment its worker finished
+the previous job), plus the run's closing phases
+
+``combine -> upload -> merge``
+
+(master folds its slaves' objects, ships the result, head merges). Both
+substrates emit the same vocabulary, so a simulated and a real run of the
+same app produce spans with identical phase names.
+
+* :func:`build_spans` — one :class:`JobSpan` per (worker, job cycle),
+  with steal and re-execution links;
+* :func:`phase_totals` — per-phase time across all spans;
+* :func:`critical_path` — the single causal chain of
+  :class:`CriticalSegment` that tiles ``[0, makespan]``: walk back from
+  the final merge through the upload, the gating cluster's combine, and
+  the gating worker's job cycles down to time zero;
+* :func:`span_summary` — the plain-data form carried on
+  :class:`~repro.runtime.telemetry.RunTelemetry`.
+
+Jobs processed through the prefetch pipeline have no ``fetch_start`` /
+``fetch_end`` events (retrieval is hidden behind compute by design); such
+cycles reconstruct with a zero-width fetch phase anchored at
+``compute_start``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TraceError
+from .analysis import _ordered
+from .events import EventLog
+
+__all__ = [
+    "PHASES",
+    "Phase",
+    "JobSpan",
+    "CriticalSegment",
+    "build_spans",
+    "phase_totals",
+    "critical_path",
+    "render_critical_path",
+    "span_summary",
+]
+
+#: The shared span-phase vocabulary, in causal order.
+PHASES = ("queued", "fetch", "stall", "compute", "combine", "upload", "merge")
+
+_CYCLE_KINDS = ("fetch_start", "fetch_end", "compute_start", "compute_end")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One contiguous slice of a span's lifetime."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class JobSpan:
+    """One job's causal span on one worker.
+
+    ``queued_from`` is when the worker became free for this job (the
+    previous cycle's ``compute_end``, or 0.0 for the first cycle) — the
+    span's phases tile ``[queued_from, compute_end]`` exactly, so they
+    are non-overlapping, cover the lifetime, and sum to the end-to-end
+    latency.
+    """
+
+    job_id: int
+    file_id: int
+    worker: int
+    cluster: str
+    queued_from: float
+    fetch_start: float | None
+    fetch_end: float | None
+    compute_start: float
+    compute_end: float
+    stolen: bool = False
+    attempt: int = 1
+    reexecution: bool = False
+
+    @property
+    def phases(self) -> tuple[Phase, ...]:
+        """The span tiled into its ordered phases (zero-width kept)."""
+        if self.fetch_start is None:
+            anchor = self.compute_start
+            mid: tuple[Phase, ...] = (
+                Phase("fetch", anchor, anchor),
+                Phase("stall", anchor, anchor),
+            )
+        else:
+            anchor = self.fetch_start
+            mid = (
+                Phase("fetch", self.fetch_start, self.fetch_end),
+                Phase("stall", self.fetch_end, self.compute_start),
+            )
+        return (
+            Phase("queued", self.queued_from, anchor),
+            *mid,
+            Phase("compute", self.compute_start, self.compute_end),
+        )
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: queued through compute completion."""
+        return self.compute_end - self.queued_from
+
+    @property
+    def execution(self) -> float:
+        """Fetch through compute (the straggler detector's signal)."""
+        start = self.fetch_start if self.fetch_start is not None else self.compute_start
+        return self.compute_end - start
+
+
+@dataclass(frozen=True)
+class CriticalSegment:
+    """One link of the critical path's causal chain."""
+
+    phase: str
+    start: float
+    end: float
+    cluster: str = ""
+    worker: int = -1
+    job_id: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _worker_cycles(log: EventLog, worker: int) -> list[JobSpan]:
+    """Pair one worker's fetch/compute events into chained job cycles."""
+    events = [e for e in log.for_worker(worker) if e.kind in _CYCLE_KINDS]
+    spans: list[JobSpan] = []
+    queued_from = 0.0
+    fetch_start = fetch_end = None
+    compute_start = None
+    file_id = -1
+    cluster = ""
+    for event in _ordered(events, worker):
+        if event.kind == "fetch_start":
+            fetch_start = event.time
+            file_id = event.file_id
+            cluster = event.cluster
+        elif event.kind == "fetch_end":
+            fetch_end = event.time
+        elif event.kind == "compute_start":
+            compute_start = event.time
+            if fetch_start is None:  # prefetch pipeline: fetch is hidden
+                file_id = event.file_id
+                cluster = event.cluster
+        elif event.kind == "compute_end":
+            if compute_start is None:
+                raise TraceError(
+                    f"worker {worker}: compute_end at {event.time} "
+                    "without a compute_start"
+                )
+            spans.append(
+                JobSpan(
+                    job_id=event.job_id,
+                    file_id=file_id,
+                    worker=worker,
+                    cluster=cluster or event.cluster,
+                    queued_from=queued_from,
+                    fetch_start=fetch_start,
+                    fetch_end=fetch_end,
+                    compute_start=compute_start,
+                    compute_end=event.time,
+                )
+            )
+            queued_from = event.time
+            fetch_start = fetch_end = compute_start = None
+            file_id = -1
+            cluster = ""
+    return spans
+
+
+def build_spans(log: EventLog) -> list[JobSpan]:
+    """Reconstruct every job's causal span from the event stream.
+
+    Steal links come from the scheduler's ``steal`` events (matched on
+    (cluster, file_id) — the whole stolen group is remote work);
+    re-execution links from ``job_reexecuted`` (every later attempt of a
+    re-executed job id is flagged, and ``attempt`` counts duplicates in
+    completion order).
+    """
+    spans: list[JobSpan] = []
+    for worker in log.workers():
+        spans.extend(_worker_cycles(log, worker))
+
+    stolen = {
+        (e.cluster, e.file_id)
+        for e in log.of_kind("steal")
+        if e.file_id >= 0
+    }
+    reexecuted = {e.job_id for e in log.of_kind("job_reexecuted") if e.job_id >= 0}
+
+    by_job: dict[int, list[int]] = {}
+    for i, span in enumerate(spans):
+        by_job.setdefault(span.job_id, []).append(i)
+
+    out = list(spans)
+    for job_id, indexes in by_job.items():
+        indexes.sort(key=lambda i: spans[i].compute_end)
+        for attempt, i in enumerate(indexes, start=1):
+            span = spans[i]
+            out[i] = JobSpan(
+                job_id=span.job_id,
+                file_id=span.file_id,
+                worker=span.worker,
+                cluster=span.cluster,
+                queued_from=span.queued_from,
+                fetch_start=span.fetch_start,
+                fetch_end=span.fetch_end,
+                compute_start=span.compute_start,
+                compute_end=span.compute_end,
+                stolen=(span.cluster, span.file_id) in stolen,
+                attempt=attempt,
+                # A later attempt is a re-execution; so is a sole cycle of
+                # a job the master re-issued (the first try died before
+                # its compute_end ever hit the log).
+                reexecution=attempt > 1
+                or (job_id in reexecuted and len(indexes) == 1),
+            )
+    out.sort(key=lambda s: (s.compute_end, s.worker))
+    return out
+
+
+def phase_totals(spans: list[JobSpan]) -> dict[str, float]:
+    """Total seconds per phase across all spans (worker-phases only)."""
+    totals = {name: 0.0 for name in ("queued", "fetch", "stall", "compute")}
+    for span in spans:
+        for phase in span.phases:
+            totals[phase.name] += phase.duration
+    return totals
+
+
+def _last_before(events, cursor: float, **match):
+    """The latest event at or before ``cursor`` matching the fields."""
+    best = None
+    for e in events:
+        if e.time > cursor + 1e-12:
+            continue
+        if any(getattr(e, k) != v for k, v in match.items()):
+            continue
+        if best is None or e.time > best.time:
+            best = e
+    return best
+
+
+def critical_path(
+    log: EventLog, makespan: float | None = None
+) -> list[CriticalSegment]:
+    """The causal chain that gates the makespan, tiling ``[0, makespan]``.
+
+    Walk backwards from the run's end: the head's final merge waits on
+    the last ``robj_sent`` (merge), which waits on its cluster's
+    ``combine_done`` (upload), which waits on that cluster's last
+    ``compute_end`` (combine), which chains through the gating worker's
+    job cycles — compute, stall, fetch, queued — down to time zero.
+    Consecutive segments share boundaries, so the phase durations sum to
+    the makespan exactly.
+    """
+    if not len(log):
+        raise TraceError("cannot compute a critical path on an empty trace")
+    if makespan is None:
+        makespan = log.makespan()
+    if makespan <= 0:
+        raise TraceError("makespan must be positive")
+
+    events = log.snapshot()
+    spans = build_spans(log)
+    if not spans:
+        raise TraceError("trace has no completed job cycles")
+
+    segments: list[CriticalSegment] = []
+    cursor = makespan
+    gate_cluster = ""
+    gate_worker = -1
+
+    robj = _last_before(
+        [e for e in events if e.kind == "robj_sent"], cursor
+    )
+    if robj is not None and robj.time < cursor:
+        segments.append(
+            CriticalSegment("merge", robj.time, cursor, cluster=robj.cluster)
+        )
+        cursor = robj.time
+    if robj is not None:
+        gate_cluster = robj.cluster
+        combine = _last_before(
+            [e for e in events if e.kind == "combine_done"],
+            cursor,
+            cluster=gate_cluster,
+        )
+        if combine is not None and combine.time < cursor:
+            segments.append(
+                CriticalSegment(
+                    "upload", combine.time, cursor, cluster=gate_cluster
+                )
+            )
+            cursor = combine.time
+
+    # The gating worker: the last compute_end in the gating cluster (or
+    # anywhere, when the trace carries no sync tail).
+    candidates = [
+        s for s in spans
+        if s.compute_end <= cursor + 1e-12
+        and (not gate_cluster or s.cluster == gate_cluster)
+    ] or [s for s in spans if s.compute_end <= cursor + 1e-12] or spans
+    last = max(candidates, key=lambda s: s.compute_end)
+    gate_worker = last.worker
+    if last.compute_end < cursor:
+        segments.append(
+            CriticalSegment(
+                "combine",
+                last.compute_end,
+                cursor,
+                cluster=last.cluster,
+                worker=gate_worker,
+            )
+        )
+        cursor = last.compute_end
+
+    # Walk the gating worker's cycles back to time zero.
+    cycles = sorted(
+        (s for s in spans if s.worker == gate_worker),
+        key=lambda s: s.compute_end,
+        reverse=True,
+    )
+    for span in cycles:
+        if span.compute_end > cursor + 1e-12:
+            continue
+        for phase in reversed(span.phases):
+            end = min(phase.end, cursor)
+            start = min(phase.start, end)
+            segments.append(
+                CriticalSegment(
+                    phase.name,
+                    start,
+                    end,
+                    cluster=span.cluster,
+                    worker=span.worker,
+                    job_id=span.job_id,
+                )
+            )
+            cursor = start
+        if cursor <= 0:
+            break
+    if cursor > 0:
+        # The worker's first cycle started after 0 only if queued_from
+        # was clamped; close the chain explicitly.
+        segments.append(
+            CriticalSegment("queued", 0.0, cursor, worker=gate_worker)
+        )
+
+    segments.reverse()
+    return segments
+
+
+def render_critical_path(segments: list[CriticalSegment]) -> str:
+    """Text form of the critical path: the chain, then per-phase totals."""
+    if not segments:
+        raise TraceError("empty critical path")
+    total = segments[-1].end - segments[0].start
+    lines = [f"critical path: {total:.3f}s in {len(segments)} segments"]
+    for seg in segments:
+        where = seg.cluster or "head"
+        owner = f" w{seg.worker:03d}" if seg.worker >= 0 else ""
+        job = f" job {seg.job_id}" if seg.job_id >= 0 else ""
+        lines.append(
+            f"  {seg.start:>9.3f} .. {seg.end:>9.3f}  "
+            f"{seg.phase:<8} {seg.duration:>8.3f}s  {where}{owner}{job}"
+        )
+    totals: dict[str, float] = {}
+    for seg in segments:
+        totals[seg.phase] = totals.get(seg.phase, 0.0) + seg.duration
+    lines.append("per-phase totals on the path:")
+    for name in PHASES:
+        if name in totals:
+            share = totals[name] / total * 100 if total else 0.0
+            lines.append(f"  {name:<8} {totals[name]:>8.3f}s  {share:5.1f}%")
+    return "\n".join(lines)
+
+
+def span_summary(
+    log: EventLog, makespan: float | None = None
+) -> dict:
+    """Plain-data span digest for :class:`RunTelemetry` / JSON export."""
+    if makespan is None:
+        makespan = log.makespan()
+    spans = build_spans(log)
+    if not spans:
+        return {
+            "jobs": 0,
+            "makespan": makespan,
+            "phase_seconds": {},
+            "critical_path": [],
+            "critical_path_seconds": {},
+            "stolen_jobs": 0,
+            "reexecutions": 0,
+        }
+    path = critical_path(log, makespan)
+    path_totals: dict[str, float] = {}
+    for seg in path:
+        path_totals[seg.phase] = path_totals.get(seg.phase, 0.0) + seg.duration
+    return {
+        "jobs": len(spans),
+        "makespan": makespan,
+        "phase_seconds": phase_totals(spans),
+        "critical_path": [
+            {
+                "phase": seg.phase,
+                "start": seg.start,
+                "end": seg.end,
+                "seconds": seg.duration,
+                "cluster": seg.cluster,
+                "worker": seg.worker,
+                "job_id": seg.job_id,
+            }
+            for seg in path
+        ],
+        "critical_path_seconds": path_totals,
+        "stolen_jobs": sum(1 for s in spans if s.stolen),
+        "reexecutions": sum(1 for s in spans if s.attempt > 1),
+    }

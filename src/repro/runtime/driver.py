@@ -29,7 +29,9 @@ from ..core.sync import SyncCodec, SyncSpec, build_sync_plan, plan_roots
 from ..data.dataset import DatasetReader
 from ..errors import ConfigurationError, RuntimeTimeoutError
 from ..obs.events import EventLog
+from ..obs.live import RunMonitor
 from ..obs.metrics import MetricsRegistry
+from ..obs.spans import span_summary
 from ..resilience.faults import FaultInjector
 from ..resilience.retry import RetryPolicy
 from ..storage.base import StorageService
@@ -70,6 +72,7 @@ class CloudBurstingRuntime:
         cache: ChunkCache | None = None,
         prefetch: bool = False,
         sync: SyncSpec | None = None,
+        monitor: RunMonitor | None = None,
     ) -> None:
         if compute.total_cores <= 0:
             raise ConfigurationError("need at least one core")
@@ -108,6 +111,12 @@ class CloudBurstingRuntime:
         #: pass-N delta uploads tiny.
         self.sync = None if sync is None or sync.is_default else sync
         self._sync_codec = SyncCodec(self.sync) if self.sync is not None else None
+        #: Optional live run-health sampler (:class:`~repro.obs.live.
+        #: RunMonitor`). ``run()`` binds it to a probe over this run's
+        #: masters/scheduler/cache/codec and starts/stops it around the
+        #: execution. Off (``None``) by default: the disabled path is a
+        #: single ``None`` check.
+        self.monitor = monitor
 
     def run(self) -> RuntimeResult:
         started = time.perf_counter()
@@ -217,11 +226,44 @@ class CloudBurstingRuntime:
                 )
                 slave_id += 1
 
+        monitor = self.monitor
+        if monitor is not None:
+            jobs_total = len(self.index.jobs())
+            cache = self.cache
+
+            def probe() -> dict:
+                pool_depth = sum(len(m.pool) for m in masters)
+                in_flight = sum(m.pool.in_flight for m in masters)
+                gauges = {
+                    "jobs_total": jobs_total,
+                    "jobs_done": sum(m.pool.jobs_done for m in masters),
+                    "pool_depth": pool_depth,
+                    "in_flight": in_flight,
+                    "steals": sum(
+                        c.jobs_stolen for c in scheduler.clusters.values()
+                    ),
+                    "workers": len(slaves),
+                    # A taken-but-unfinished job occupies a worker; the
+                    # pool's in-flight count is the cheap busy gauge.
+                    "workers_busy": min(in_flight, len(slaves)),
+                    "remote_fetches": reader.remote_fetches,
+                }
+                if cache is not None:
+                    gauges["cache_hits"] = cache.stats.hits
+                    gauges["cache_misses"] = cache.stats.misses
+                if codec is not None:
+                    gauges["sync_bytes_sent"] = codec.stats.wire_bytes
+                return gauges
+
+            monitor.bind(probe)
+
         head.start()
         for master in masters:
             master.start()
         for slave in slaves:
             slave.start()
+        if monitor is not None:
+            monitor.start()
 
         try:
             result = head.join(timeout=self.join_timeout)
@@ -235,6 +277,9 @@ class CloudBurstingRuntime:
                 f"{alive_slaves or 'none'} — a hung slave or a lost "
                 f"message keeps the reduction from converging"
             ) from None
+        finally:
+            if monitor is not None:
+                monitor.stop()
         for master in masters:
             master.join(timeout=self.join_timeout)
         for slave in slaves:
@@ -283,6 +328,10 @@ class CloudBurstingRuntime:
                 st.dense_bytes - sync_before[2]
             ) - telemetry.sync_bytes_sent
             telemetry.sync_partial_merges = sum(m.sync_partials for m in masters)
+
+        if trace is not None:
+            # The causal-span digest (per-phase totals + critical path).
+            telemetry.spans = span_summary(trace)
 
         if self.metrics is not None:
             registry = self.metrics

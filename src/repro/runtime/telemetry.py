@@ -121,6 +121,10 @@ class RunTelemetry:
     sync_bytes_saved: int = 0
     sync_partial_merges: int = 0
     metrics: dict | None = None
+    #: Causal-span digest (:func:`repro.obs.spans.span_summary`): per-phase
+    #: time totals and the critical path through the makespan. Filled by
+    #: the driver when the run was traced; ``None`` otherwise.
+    spans: dict | None = None
 
     @property
     def total_jobs(self) -> int:
@@ -156,6 +160,7 @@ class RunTelemetry:
             "sync_partial_merges": self.sync_partial_merges,
             "clusters": {name: asdict(c) for name, c in self.clusters.items()},
             "metrics": self.metrics,
+            "spans": self.spans,
         }
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -189,6 +194,7 @@ class RunTelemetry:
                 sync_bytes_saved=int(doc.get("sync_bytes_saved", 0)),
                 sync_partial_merges=int(doc.get("sync_partial_merges", 0)),
                 metrics=doc.get("metrics"),
+                spans=doc.get("spans"),
             )
         except (KeyError, TypeError) as exc:
             raise DataFormatError(f"malformed telemetry document: {exc}") from exc

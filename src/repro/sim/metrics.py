@@ -78,6 +78,9 @@ class SimReport:
     #: given a cache — see :class:`~repro.sim.simulation.CloudBurstSimulation`).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Modeled storage faults applied to the fetch path (zero unless the
+    #: simulation was given a :class:`~repro.resilience.FaultSpec`).
+    faults_injected: int = 0
 
     def cluster(self, name: str) -> ClusterReport:
         try:
@@ -115,6 +118,7 @@ class SimReport:
             "events_processed": self.events_processed,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "faults_injected": self.faults_injected,
             "clusters": {name: asdict(c) for name, c in self.clusters.items()},
         }
 
@@ -137,6 +141,7 @@ class SimReport:
                 events_processed=int(doc.get("events_processed", 0)),
                 cache_hits=int(doc.get("cache_hits", 0)),
                 cache_misses=int(doc.get("cache_misses", 0)),
+                faults_injected=int(doc.get("faults_injected", 0)),
             )
         except (KeyError, TypeError) as exc:
             raise SimulationError(f"malformed report document: {exc}") from exc

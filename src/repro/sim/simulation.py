@@ -24,6 +24,7 @@ in the paper (env-cloud shows master<->head WAN delays in Section IV-B).
 
 from __future__ import annotations
 
+import random
 from dataclasses import replace
 from typing import TYPE_CHECKING
 
@@ -31,6 +32,7 @@ from ..apps.base import AppProfile, get_profile
 
 if TYPE_CHECKING:
     from ..cache import ChunkCache
+    from ..resilience.faults import FaultSpec
 from ..config import CLOUD_SITE, LOCAL_SITE, ExperimentConfig
 from ..core.index import build_index
 from ..core.job import Job
@@ -51,6 +53,19 @@ __all__ = ["CloudBurstSimulation", "simulate"]
 HEAD_SITE = LOCAL_SITE
 
 
+class _SimSchedulerTrace:
+    """Adapter so the shared :class:`HeadScheduler` (which calls
+    ``trace.emit`` — wall-clock semantics) lands its steal events on the
+    simulated timeline at ``env.now``."""
+
+    def __init__(self, log: "TraceRecorder", env: Environment) -> None:
+        self._log = log
+        self._env = env
+
+    def emit(self, kind: str, **fields) -> None:
+        self._log.record(self._env.now, kind, **fields)
+
+
 class CloudBurstSimulation:
     """One experiment, simulated."""
 
@@ -63,6 +78,7 @@ class CloudBurstSimulation:
         static_assignment: bool = False,
         cache: "ChunkCache | None" = None,
         sync: SyncSpec | None = None,
+        faults: "FaultSpec | None" = None,
     ) -> None:
         self.config = config
         self.calibration = calibration
@@ -87,6 +103,18 @@ class CloudBurstSimulation:
         #: uploads are charged ``robj_bytes * sim_ratio`` on the wire
         #: (merge cost stays dense: decoding restores the full object).
         self.sync = None if sync is None or sync.is_default else sync
+        #: Modeled storage faults (:class:`~repro.resilience.FaultSpec`):
+        #: ``latency`` faults add their fixed delay to a fetch, ``slow``
+        #: faults re-price the chunk at the degraded bandwidth — the same
+        #: perturbations the runtime's :class:`FaultInjector` applies to
+        #: real reads, so a seeded straggler appears in both substrates.
+        #: Transient/permanent *errors* are runtime-only (the simulator
+        #: models time, not retries) and are ignored here.
+        self.faults = None if faults is None or not (
+            faults.latency_rate or faults.slow_rate
+        ) else faults
+        #: Faults applied during the last :meth:`run` (also on the report).
+        self.faults_injected = 0
 
     # -- wiring ---------------------------------------------------------------
 
@@ -122,9 +150,52 @@ class CloudBurstSimulation:
         )
 
         index = build_index(config.dataset, config.placement)
-        scheduler = HeadScheduler(index.jobs(), config.tuning, seed=config.seed)
+        scheduler = HeadScheduler(
+            index.jobs(),
+            config.tuning,
+            seed=config.seed,
+            trace=(
+                _SimSchedulerTrace(self.trace, env)
+                if self.trace is not None
+                else None
+            ),
+        )
 
         cache = self.cache
+        fault_spec = self.faults
+        # Per-run deterministic dice, independent of the compute-jitter
+        # streams (same seeding rule the runtime's FaultInjector uses).
+        fault_rng = (
+            random.Random(fault_spec.seed ^ (config.seed * 2654435761))
+            if fault_spec is not None
+            else None
+        )
+        self.faults_injected = 0
+
+        def _fault_delay(job: Job) -> float:
+            """Extra modeled seconds the fault layer charges this fetch."""
+            extra = 0.0
+            if fault_spec.latency_rate and fault_rng.random() < fault_spec.latency_rate:
+                extra += fault_spec.latency_seconds
+                self.faults_injected += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        env.now, "fault_injected",
+                        job_id=job.job_id, file_id=job.file_id,
+                        detail=f"latency +{fault_spec.latency_seconds:g}s",
+                    )
+            if fault_spec.slow_rate and fault_rng.random() < fault_spec.slow_rate:
+                slow = job.nbytes / fault_spec.slow_bandwidth
+                extra += slow
+                self.faults_injected += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        env.now, "fault_injected",
+                        job_id=job.job_id, file_id=job.file_id,
+                        detail=f"slow +{slow:.3f}s "
+                        f"@{fault_spec.slow_bandwidth:g}B/s",
+                    )
+            return extra
 
         def fetch(job: Job, slave_site: str, threads: int) -> Event:
             # Cross-site chunks go through the modeled node cache exactly
@@ -141,12 +212,29 @@ class CloudBurstSimulation:
             # network) or crosses sites; only a local disk read is a single
             # sequential stream.
             single_stream = job.site == LOCAL_SITE and slave_site == LOCAL_SITE
-            return store.fetch(
-                job.file_id,
-                job.nbytes,
-                chunk_index=job.chunk_index,
-                connections=1 if single_stream else threads,
-            )
+
+            def start_transfer() -> Event:
+                return store.fetch(
+                    job.file_id,
+                    job.nbytes,
+                    chunk_index=job.chunk_index,
+                    connections=1 if single_stream else threads,
+                )
+
+            if fault_rng is None:
+                return start_transfer()
+            extra = _fault_delay(job)
+            if extra <= 0.0:
+                return start_transfer()
+
+            def perturbed():
+                # The fault delays the read itself: stall first, then start
+                # the (contended) transfer — matching the injector's
+                # position in front of the runtime's storage service.
+                yield env.timeout(extra)
+                yield start_transfer()
+
+            return env.process(perturbed(), name=f"fault:{job.job_id}")
 
         # Dedicated WAN path for the reduction-object push (cloud -> head).
         wan_robj = FairShareLink(
@@ -388,6 +476,7 @@ class CloudBurstSimulation:
         if cache is not None:
             report.cache_hits = cache.stats.hits - cache_before[0]
             report.cache_misses = cache.stats.misses - cache_before[1]
+        report.faults_injected = self.faults_injected
         return report
 
     # -- reporting ---------------------------------------------------------------

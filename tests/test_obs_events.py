@@ -7,14 +7,22 @@ import threading
 import pytest
 
 from repro.errors import SimulationError, TraceError
-from repro.obs import KINDS, RUNTIME_KINDS, SIM_KINDS, EventLog, TraceEvent
+from repro.obs import (
+    ANALYSIS_KINDS,
+    KINDS,
+    RUNTIME_KINDS,
+    SIM_KINDS,
+    EventLog,
+    TraceEvent,
+)
 
 
-def test_vocabulary_is_sim_plus_runtime():
-    assert KINDS == SIM_KINDS + RUNTIME_KINDS
+def test_vocabulary_is_sim_plus_runtime_plus_analysis():
+    assert KINDS == SIM_KINDS + RUNTIME_KINDS + ANALYSIS_KINDS
     assert "fetch_start" in SIM_KINDS
     for kind in ("steal", "slave_failed", "job_reexecuted", "remote_fetch"):
         assert kind in RUNTIME_KINDS
+    assert "straggler_detected" in ANALYSIS_KINDS
 
 
 def test_record_and_queries():
@@ -102,3 +110,41 @@ def test_construct_from_events():
     log = EventLog(events)
     assert len(log) == 1
     assert log.of_kind("steal")[0].file_id == 3
+
+
+def test_unbounded_by_default():
+    log = EventLog()
+    for i in range(100):
+        log.record(float(i), "job_done", worker=0, job_id=i)
+    assert len(log) == 100
+    assert log.events_dropped == 0
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    log = EventLog(max_events=4)
+    for i in range(10):
+        log.record(float(i), "job_done", worker=0, job_id=i)
+    assert len(log) == 4
+    assert [e.job_id for e in log.events] == [6, 7, 8, 9]
+    assert log.events_dropped == 6
+    # Queries see only the retained window.
+    assert log.makespan() == 9.0
+    assert len(log.of_kind("job_done")) == 4
+
+
+def test_ring_buffer_applies_to_seed_events():
+    seed = [
+        TraceEvent(time=float(i), kind="job_done", worker=0, job_id=i)
+        for i in range(6)
+    ]
+    log = EventLog(seed, max_events=4)
+    assert len(log) == 4
+    assert [e.job_id for e in log.events] == [2, 3, 4, 5]
+    assert log.events_dropped == 2
+
+
+def test_ring_capacity_must_be_positive():
+    with pytest.raises(TraceError):
+        EventLog(max_events=0)
+    with pytest.raises(TraceError):
+        EventLog(max_events=-5)

@@ -102,6 +102,50 @@ def test_perfetto_structure():
     json.dumps(doc)
 
 
+def test_perfetto_family_tracks():
+    """Worker-less events from the resilience/cache/storage families get
+    their own named tracks instead of vanishing onto the head track."""
+    log = sample_log()
+    log.record(0.2, "retry", cluster="local-cluster", file_id=0,
+               detail="attempt 2")
+    log.record(0.25, "fault_injected", cluster="local-cluster", file_id=0)
+    log.record(0.3, "cache_miss", file_id=0)
+    log.record(0.6, "cache_hit", file_id=0)
+    log.record(0.2, "remote_fetch", cluster="cloud-cluster", file_id=0)
+    doc = to_perfetto(log)
+    events = doc["traceEvents"]
+    tracks = {
+        e["args"]["name"]: e["tid"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {"resilience", "cache", "storage"} <= set(tracks)
+    for kind, family in (("retry", "resilience"), ("cache_hit", "cache"),
+                         ("remote_fetch", "storage")):
+        instant = next(e for e in events if e["ph"] == "i" and e["name"] == kind)
+        assert instant["tid"] == tracks[family]
+        assert instant["s"] == "t"  # thread-scoped, not process-wide
+
+
+def test_perfetto_family_kind_with_worker_stays_on_worker_track():
+    log = sample_log()
+    log.record(0.2, "remote_fetch", worker=0, file_id=0,
+               cluster="local-cluster")
+    doc = to_perfetto(log)
+    events = doc["traceEvents"]
+    tracks = {
+        e["args"]["name"]: e["tid"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert "storage" not in tracks  # no worker-less family events
+    instant = next(e for e in events if e["ph"] == "i"
+                   and e["name"] == "remote_fetch")
+    worker_tid = next(tid for name, tid in tracks.items()
+                      if name.startswith("w000"))
+    assert instant["tid"] == worker_tid
+
+
 def test_write_perfetto(tmp_path):
     path = tmp_path / "trace.json"
     count = write_perfetto(sample_log(), path)
@@ -133,3 +177,28 @@ def test_render_report_defaults_makespan_to_last_event():
 def test_render_report_rejects_empty_trace():
     with pytest.raises(TraceError):
         render_report(EventLog())
+
+
+def test_render_report_includes_spans_and_stragglers():
+    report = render_report(sample_log())
+    assert "job spans; per-phase seconds:" in report
+    assert "straggler detector" in report
+
+
+def test_render_report_optional_critical_path():
+    plain = render_report(sample_log())
+    assert "critical path" not in plain
+    with_path = render_report(sample_log(), show_critical_path=True)
+    assert "critical path:" in with_path
+
+
+def test_render_report_warns_about_dropped_events():
+    log = EventLog(max_events=6)
+    for event in sample_log().events:
+        log.record(event.time, event.kind, cluster=event.cluster,
+                   worker=event.worker, job_id=event.job_id,
+                   file_id=event.file_id, detail=event.detail)
+    assert log.events_dropped > 0
+    report = render_report(log)
+    assert "ring buffer dropped" in report
+    assert f"{log.events_dropped} oldest" in report

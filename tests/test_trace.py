@@ -123,6 +123,17 @@ def test_trace_validation():
         render_gantt(TraceRecorder(), 1.0, width=0)
 
 
+def test_empty_trace_has_no_workers_or_intervals():
+    empty = TraceRecorder()
+    assert empty.workers() == []
+    assert worker_intervals(empty, 0) == []
+    # A worker absent from the trace simply has no intervals.
+    lone = TraceRecorder()
+    lone.record(0.0, "fetch_start", worker=3)
+    lone.record(0.5, "fetch_end", worker=3)
+    assert worker_intervals(lone, 7) == []
+
+
 def test_render_gantt_width_one():
     trace = TraceRecorder()
     trace.record(0.0, "fetch_start", worker=0)
