@@ -14,10 +14,12 @@ Two artifacts live here:
   the committed ``BENCH_baseline.json``. Regenerate the baseline with
   ``--smoke --write-baseline`` after an intentional perf change.
 
-The gated sections (figure3 / cache / sync) are simulator makespans and
-byte counts — deterministic for a given seed, so the default 10 %
-tolerance only has to absorb float-summation jitter, not machine speed.
-The ``micro`` section is wall clock and therefore never gated.
+The gated sections (figure3 / cache / sync / zero_copy) are simulator
+makespans, byte counts, and data-path read accounting — deterministic
+for a given seed, so the default 10 % tolerance only has to absorb
+float-summation jitter, not machine speed. The ``micro`` section is wall
+clock (including the thread- vs process-slave comparison) and therefore
+never gated.
 """
 
 from __future__ import annotations
@@ -140,8 +142,47 @@ def collect_sync(*, units: int, iterations: int, seed: int) -> dict:
     }
 
 
+def collect_zero_copy(*, units: int, seed: int) -> dict:
+    """Data-path read accounting — deterministic, gated.
+
+    Two probes: a no-steal runtime run (every read same-site, so the
+    whole pass must be served as views), and a serial two-pass cached
+    run (pass 2's cloud chunks come back as cache hits). Both are exact
+    integer counts for a given config.
+    """
+    import repro
+
+    spec = DatasetSpec(
+        total_bytes=units * 8,
+        num_files=4,
+        chunk_bytes=(units // 16) * 8,
+        record_bytes=8,
+    )
+    hot = repro.run(
+        "histogram", spec,
+        repro.RunConfig(
+            mode="runtime", seed=seed,
+            tuning=MiddlewareTuning(allow_stealing=False),
+        ),
+    ).telemetry
+    assert hot.bytes_copied == 0, "hot read loop copied bytes"
+    assert hot.zero_copy_reads == hot.total_jobs
+    cached = repro.run(
+        "histogram", spec,
+        repro.RunConfig(mode="serial", seed=seed, iterations=1,
+                        cache_bytes=1 << 30),
+    ).telemetry
+    return {
+        "hot_loop_reads": hot.zero_copy_reads,
+        "hot_loop_bytes_copied": hot.bytes_copied,
+        "serial_view_reads": cached.zero_copy_reads,
+        "serial_bytes_copied": cached.bytes_copied,
+    }
+
+
 def collect_micro(*, seed: int) -> dict:
     """Wall-clock micro timings — informational, never gated."""
+    from bench_micro import run_substrate_bench
     from bench_obs import drive_scheduler
 
     from repro.obs import EventLog
@@ -159,9 +200,15 @@ def collect_micro(*, seed: int) -> dict:
         )
         for _ in range(reps)
     )
+    substrate = run_substrate_bench(
+        smoke=True, workers=2, units=4096, slave_mode="both", seed=seed
+    )
     return {
         "scheduler_960_jobs_ms": round(scheduler_s * 1e3, 3),
         "emit_us": round(emit_s / emit_n * 1e6, 3),
+        "thread_slaves_ms": round(substrate["thread"] * 1e3, 3),
+        "process_slaves_ms": round(substrate["process"] * 1e3, 3),
+        "process_speedup": round(substrate["speedup"], 3),
     }
 
 
@@ -171,6 +218,7 @@ def collect_snapshot(*, smoke: bool, seed: int) -> dict:
     (the ``config`` section is checked for equality before any metric)."""
     scale = 0.05 if smoke else 1.0
     sync_units, sync_iters = (8192, 2) if smoke else (65536, 8)
+    zero_copy_units = 2048 if smoke else 16384
     return {
         "config": {
             "smoke": smoke,
@@ -178,12 +226,14 @@ def collect_snapshot(*, smoke: bool, seed: int) -> dict:
             "scale": scale,
             "sync_units": sync_units,
             "sync_iterations": sync_iters,
+            "zero_copy_units": zero_copy_units,
         },
         "figure3": collect_figure3(scale=scale, seed=seed),
         "cache": collect_cache(scale=scale, seed=seed),
         "sync": collect_sync(
             units=sync_units, iterations=sync_iters, seed=seed
         ),
+        "zero_copy": collect_zero_copy(units=zero_copy_units, seed=seed),
         "micro": collect_micro(seed=seed),
     }
 

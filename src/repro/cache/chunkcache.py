@@ -151,12 +151,18 @@ class ChunkCache:
     ) -> int:
         """Insert ``value`` under ``key``; returns the number of evictions.
 
-        ``nbytes`` defaults to ``len(value)``. A value larger than the
-        entire budget is rejected (counted in ``stats.rejected``) rather
-        than evicting the whole cache for a single un-reusable entry.
+        ``nbytes`` defaults to the value's buffer size (``.nbytes`` for
+        memoryviews, ``len`` otherwise). A value larger than the entire
+        budget is rejected (counted in ``stats.rejected``) rather than
+        evicting the whole cache for a single un-reusable entry.
+
+        Entries may be buffers that decoded chunk views alias. Eviction
+        only drops the cache's reference: any outstanding view (or NumPy
+        array decoded over one) keeps the backing buffer alive, so
+        zero-copy readers never observe a use-after-evict.
         """
         if nbytes is None:
-            nbytes = len(value)
+            nbytes = value.nbytes if isinstance(value, memoryview) else len(value)
         if nbytes < 0:
             raise ConfigurationError(f"negative entry size {nbytes}")
         evicted = 0

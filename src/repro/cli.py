@@ -112,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         "reduction (double-buffered pipeline)",
     )
     p.add_argument(
+        "--slave-mode", default="thread", choices=("thread", "process"),
+        help="slave substrate: 'thread' (in-process, default) or 'process' "
+        "(decode + local reduction in worker processes over shared memory "
+        "— GIL-free compute for CPU-bound apps)",
+    )
+    p.add_argument(
         "--iterations", type=int, default=1, metavar="N",
         help="run N passes, feeding each result back through the app's "
         "update() hook (kmeans, pagerank)",
@@ -437,6 +443,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         cache=cache,
         prefetch=args.prefetch,
         sync=sync,
+        slave_mode=args.slave_mode,
     )
     if args.iterations > 1 and not hasattr(bundle.app, "update"):
         raise ConfigurationError(
@@ -446,6 +453,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     wall = 0.0
     prefetches = 0
     sync_sent = sync_saved = sync_partials = 0
+    zero_copy = copied = 0
     for i in range(args.iterations):
         result = runtime.run()
         wall += result.telemetry.wall_seconds
@@ -453,6 +461,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         sync_sent += result.telemetry.sync_bytes_sent
         sync_saved += result.telemetry.sync_bytes_saved
         sync_partials += result.telemetry.sync_partial_merges
+        zero_copy += result.telemetry.zero_copy_reads
+        copied += result.telemetry.bytes_copied
         if args.iterations > 1:
             bundle.app.update(result.value)  # same contract as run_iterative
     value = result.value
@@ -470,6 +480,10 @@ def _cmd_run(args: argparse.Namespace) -> None:
     for name, cluster in result.telemetry.clusters.items():
         print(f"{name}: {cluster.jobs} jobs ({cluster.stolen} stolen)")
     t = result.telemetry
+    print(
+        f"data path ({args.slave_mode} slaves): {zero_copy} zero-copy reads, "
+        f"{copied} bytes copied"
+    )
     if cache is not None or args.prefetch:
         s = cache.stats if cache is not None else None
         parts = []

@@ -13,7 +13,28 @@ from typing import Iterator
 
 from ..errors import DataFormatError
 
-__all__ = ["ChunkSlice", "iter_chunk_slices", "iter_group_slices", "groups_in_chunk"]
+__all__ = [
+    "ChunkSlice",
+    "readonly_view",
+    "iter_chunk_slices",
+    "iter_group_slices",
+    "groups_in_chunk",
+]
+
+
+def readonly_view(buf: "bytes | bytearray | memoryview") -> memoryview:
+    """Expose any bytes-like buffer as a read-only ``memoryview``.
+
+    This is the zero-copy slicing primitive of the data path: slicing the
+    returned view (``view[offset:offset + nbytes]``) aliases the backing
+    buffer instead of copying it the way ``bytes`` slicing does, and the
+    read-only flag propagates into :meth:`~repro.data.records.RecordSchema.
+    decode`'s ``np.frombuffer`` result. The underlying buffer stays alive
+    for as long as any view (or decoded array) references it — eviction
+    from a cache only drops the cache's own reference.
+    """
+    view = buf if isinstance(buf, memoryview) else memoryview(buf)
+    return view.toreadonly()
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ from ..resilience.circuit import CircuitBreaker
 from ..resilience.retry import ResilienceStats, RetryPolicy
 from ..storage.base import StorageService
 from ..storage.retrieval import ChunkRetriever
+from .chunks import readonly_view
 from .records import RecordSchema
 
 __all__ = ["BlockFn", "build_dataset", "DatasetReader"]
@@ -148,6 +149,16 @@ class DatasetReader:
         #: Cross-site chunk fetches served (cache hits excluded) — a cheap
         #: always-on gauge the live run monitor probes.
         self.remote_fetches = 0
+        #: Zero-copy accounting, always on (plain ints, like
+        #: ``remote_fetches``): a read counts as *zero-copy* when the bytes
+        #: handed to ``decode`` alias an existing buffer (an in-memory
+        #: blob's view, or a cached chunk); ``bytes_copied`` sums the bytes
+        #: of every read that had to materialize a fresh buffer (remote
+        #: multi-range assembly, retrying retrievers, file-backed stores).
+        #: The driver folds both into :class:`~repro.runtime.telemetry.
+        #: RunTelemetry` and the metrics registry.
+        self.zero_copy_reads = 0
+        self.bytes_copied = 0
         self._remote_bytes = (
             self.metrics.counter("remote_bytes")
             if self.metrics is not None
@@ -188,11 +199,26 @@ class DatasetReader:
                 self._retrievers[(site, threads)] = retriever
             return retriever
 
-    def read_job(self, job: Job, *, from_site: str | None = None) -> bytes:
-        """Fetch the chunk for ``job``.
+    def _count_zero_copy(self) -> None:
+        with self._lock:
+            self.zero_copy_reads += 1
+
+    def _count_copied(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_copied += nbytes
+
+    def read_job(self, job: Job, *, from_site: str | None = None) -> memoryview:
+        """Fetch the chunk for ``job`` as a read-only buffer view.
 
         ``from_site`` is the site of the requesting slave; when it differs
         from the job's hosting site the multi-threaded retriever is used.
+
+        The hot path — a same-site read against an in-memory store, or a
+        cache hit — returns a view *aliasing* the stored/cached buffer:
+        zero bytes are copied between the storage layer and ``decode``.
+        Retriever-mediated reads (remote multi-range fetches, any read
+        under a retry policy) assemble a fresh buffer; those bytes land in
+        ``bytes_copied``.
         """
         entry = self.index.entry(job.file_id)
         store = self.stores.get(entry.site)
@@ -205,7 +231,9 @@ class DatasetReader:
             key = (entry.site, entry.path, job.offset, job.nbytes)
             cached = cache.get(key, job_id=job.job_id, file_id=job.file_id)
             if cached is not None:
-                return cached
+                # Served from memory the cache already owns: zero-copy.
+                self._count_zero_copy()
+                return readonly_view(cached)
         if remote:
             self.remote_fetches += 1
             if self.trace is not None:
@@ -221,19 +249,25 @@ class DatasetReader:
                 entry.path, job.offset, job.nbytes,
                 job_id=job.job_id, file_id=job.file_id,
             )
+            self._count_copied(len(data))
         elif self.retry is not None:
             retriever = self._retriever(entry.site, store, 1)
             data = retriever.fetch(
                 entry.path, job.offset, job.nbytes,
                 job_id=job.job_id, file_id=job.file_id,
             )
+            self._count_copied(len(data))
         else:
-            data = store.get(entry.path, job.offset, job.nbytes)
+            data = store.read_view(entry.path, job.offset, job.nbytes)
+            if store.zero_copy_views:
+                self._count_zero_copy()
+            else:
+                self._count_copied(data.nbytes)
         if cache is not None:
             cache.put(key, data, job_id=job.job_id, file_id=job.file_id)
-        return data
+        return readonly_view(data)
 
-    def read_all_chunks(self, *, from_site: str | None = None) -> list[bytes]:
+    def read_all_chunks(self, *, from_site: str | None = None) -> list[memoryview]:
         """Every chunk in index order — feeds the serial oracle.
 
         ``from_site`` gives the reads a home site (as :meth:`read_job`
@@ -241,7 +275,7 @@ class DatasetReader:
         remote — which is what lets an attached ``cache`` serve them on
         the next pass of an iterative run.
         """
-        out: list[bytes] = []
+        out: list[memoryview] = []
         for job in self.index.jobs():
             out.append(self.read_job(job, from_site=from_site))
         return out

@@ -63,14 +63,24 @@ class RecordSchema:
             )
         return arr.tobytes()
 
-    def decode(self, raw: bytes) -> np.ndarray:
-        """Deserialize chunk bytes into a unit array (read-only view)."""
-        if len(raw) % self.record_bytes != 0:
+    def decode(self, raw: "bytes | bytearray | memoryview") -> np.ndarray:
+        """Deserialize chunk bytes into a unit array — always a view.
+
+        ``raw`` may be ``bytes`` or any buffer (``memoryview`` slice of a
+        fetched blob, ``multiprocessing.shared_memory`` buffer): no byte is
+        copied either way. The result is explicitly **read-only** even when
+        the backing buffer is writable, so an application kernel that
+        mutates its input units in place fails loudly (``ValueError``)
+        instead of silently corrupting every other view of the chunk.
+        """
+        nbytes = raw.nbytes if isinstance(raw, memoryview) else len(raw)
+        if nbytes % self.record_bytes != 0:
             raise DataFormatError(
-                f"chunk of {len(raw)} bytes is not a whole number of "
+                f"chunk of {nbytes} bytes is not a whole number of "
                 f"{self.record_bytes}-byte {self.name!r} records"
             )
         arr = np.frombuffer(raw, dtype=self.dtype)
+        arr.flags.writeable = False
         if self.columns:
             arr = arr.reshape(-1, self.columns)
         return arr

@@ -49,7 +49,7 @@ from .obs.live import RunMonitor, RunSample, samples_from_log
 from .obs.metrics import MetricsRegistry
 from .resilience.faults import FaultInjector, FaultSpec
 from .resilience.retry import RetryPolicy
-from .runtime.driver import CloudBurstingRuntime, RuntimeResult
+from .runtime.driver import SLAVE_MODES, CloudBurstingRuntime, RuntimeResult
 from .runtime.telemetry import RunTelemetry
 from .sim.metrics import SimReport
 from .sim.simulation import CloudBurstSimulation
@@ -88,6 +88,11 @@ class RunConfig:
       node instead of once per pass;
     * ``prefetch`` — overlap each slave's next fetch with its current
       reduction (runtime mode only; serial and simulate ignore it);
+    * ``slave_mode`` — the runtime's slave substrate: ``"thread"`` (the
+      original in-process slaves, default) or ``"process"`` (decode +
+      local reduction in worker processes fed over shared memory —
+      GIL-free compute for CPU-bound kernels). Serial and simulate
+      modes ignore it;
     * ``iterations`` / ``converge`` — first-class iterative execution:
       run the app ``iterations`` passes, calling its ``update`` hook on
       each intermediate result (kmeans recenters, pagerank re-ranks), and
@@ -136,6 +141,7 @@ class RunConfig:
     app_params: Mapping[str, Any] = field(default_factory=dict)
     cache_bytes: int = 0
     prefetch: bool = False
+    slave_mode: str = "thread"
     iterations: int = 1
     converge: float | None = None
     sync_encoding: str = "dense"
@@ -160,6 +166,11 @@ class RunConfig:
             raise ConfigurationError("join_timeout must be positive")
         if self.cache_bytes < 0:
             raise ConfigurationError("cache_bytes cannot be negative")
+        if self.slave_mode not in SLAVE_MODES:
+            raise ConfigurationError(
+                f"unknown slave_mode {self.slave_mode!r}; "
+                f"expected one of {SLAVE_MODES}"
+            )
         if self.iterations < 1:
             raise ConfigurationError("iterations must be at least 1")
         if self.converge is not None and self.converge < 0:
@@ -392,6 +403,8 @@ def _run_serial(
         telemetry.cache_misses = stats.misses
         telemetry.cache_evictions = stats.evictions
         telemetry.bytes_saved = stats.bytes_saved
+    telemetry.zero_copy_reads = reader.zero_copy_reads
+    telemetry.bytes_copied = reader.bytes_copied
     return RunResult(
         value=value,
         mode="serial",
@@ -485,6 +498,7 @@ def _run_runtime(
         prefetch=config.prefetch,
         sync=config.sync_spec,
         monitor=monitor,
+        slave_mode=config.slave_mode,
     )
     iterating = config.iterations > 1
     update = _update_hook(bundle, config) if iterating else (lambda value: None)
@@ -496,7 +510,7 @@ def _run_runtime(
         "faults_injected", "slaves_failed", "jobs_reexecuted",
         "cache_hits", "cache_misses", "cache_evictions", "bytes_saved",
         "prefetches", "sync_uploads", "sync_bytes_sent", "sync_bytes_saved",
-        "sync_partial_merges",
+        "sync_partial_merges", "zero_copy_reads", "bytes_copied",
     )
     totals = {name: 0 for name in _ADDITIVE}
     total_wall = 0.0

@@ -69,6 +69,7 @@ RUNTIME_KINDS = (
     "sync_partial",  # a slave flushed a partial reduction object mid-run
     "sync_upload",  # a master shipped its (tree/ring) contribution upward
     "sync_merge",  # an aggregation point folded in an arriving upload
+    "data_path",  # end-of-run zero-copy digest (reads served as views)
 )
 
 #: Kinds produced post-hoc by the analysis layer (never by a node).

@@ -288,6 +288,15 @@ def render_report(
         mean_idle = sum(p["idle"] for p in util.values()) / len(util)
         lines.append(f"mean worker idle fraction: {mean_idle * 100:.1f}%")
 
+    # Zero-copy digest: the driver emits one `data_path` event per pass
+    # summarizing how reads were served (views vs. materialized copies).
+    data_path = log.of_kind("data_path")
+    if data_path:
+        lines.append("")
+        lines.append("data path:")
+        for event in data_path:
+            lines.append(f"  {event.detail}")
+
     # Span sections are best-effort: a partial or hand-built trace that
     # cannot be paired into job cycles keeps its Gantt/utilization report.
     try:

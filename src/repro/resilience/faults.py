@@ -200,6 +200,20 @@ class FaultInjector(StorageService):
             return self._rng.random(), self._rng.random(), self._rng.random()
 
     def read_range(self, key: str, offset: int, nbytes: int) -> bytes:
+        self._inject(key, offset, nbytes)
+        return self.inner.read_range(key, offset, nbytes)
+
+    def read_view(self, key: str, offset: int, nbytes: int) -> memoryview:
+        """Views roll the same dice as byte reads: the fault schedule is a
+        property of the request stream, not of the return type."""
+        self._inject(key, offset, nbytes)
+        return self.inner.read_view(key, offset, nbytes)
+
+    @property
+    def zero_copy_views(self) -> bool:  # type: ignore[override]
+        return self.inner.zero_copy_views
+
+    def _inject(self, key: str, offset: int, nbytes: int) -> None:
         with self.counters._lock:
             self.counters.reads += 1
         for sub in self.spec.permanent_substrings:
@@ -229,7 +243,6 @@ class FaultInjector(StorageService):
                 self.counters.slow += 1
             self._emit(f"slow {self.spec.slow_bandwidth:g}B/s", key)
             self._sleep(nbytes / self.spec.slow_bandwidth)
-        return self.inner.read_range(key, offset, nbytes)
 
     # -- transparent delegation -------------------------------------------
 

@@ -6,9 +6,10 @@ oracle) and the examples.
 """
 
 from .centralized import centralized_runtime, run_centralized
-from .driver import CloudBurstingRuntime, RuntimeResult, run_iterative
+from .driver import SLAVE_MODES, CloudBurstingRuntime, RuntimeResult, run_iterative
 from .head import HeadNode
 from .master import MasterNode
+from .procpool import ProcessSlave, ProcessSlavePool
 from .slave import SlaveWorker
 from .telemetry import ClusterTelemetry, RunTelemetry, SlaveTelemetry, Stopwatch
 from .transport import Mailbox
@@ -19,8 +20,11 @@ __all__ = [
     "CloudBurstingRuntime",
     "RuntimeResult",
     "run_iterative",
+    "SLAVE_MODES",
     "HeadNode",
     "MasterNode",
+    "ProcessSlave",
+    "ProcessSlavePool",
     "SlaveWorker",
     "ClusterTelemetry",
     "RunTelemetry",

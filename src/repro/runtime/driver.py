@@ -35,12 +35,17 @@ from ..obs.spans import span_summary
 from ..resilience.faults import FaultInjector
 from ..resilience.retry import RetryPolicy
 from ..storage.base import StorageService
+from ..core.shmem import ShmemStrategy
 from .head import HeadNode, HeadSync
 from .master import MasterNode, MasterSync
+from .procpool import ProcessSlavePool
 from .slave import SlaveWorker
 from .telemetry import ClusterTelemetry, RunTelemetry
 
-__all__ = ["RuntimeResult", "CloudBurstingRuntime", "run_iterative"]
+__all__ = ["RuntimeResult", "CloudBurstingRuntime", "run_iterative", "SLAVE_MODES"]
+
+#: The slave substrates the runtime can execute on.
+SLAVE_MODES = ("thread", "process")
 
 
 @dataclass
@@ -73,11 +78,18 @@ class CloudBurstingRuntime:
         prefetch: bool = False,
         sync: SyncSpec | None = None,
         monitor: RunMonitor | None = None,
+        slave_mode: str = "thread",
+        process_strategy: ShmemStrategy | str = ShmemStrategy.FULL_REPLICATION,
+        process_start_method: str | None = None,
     ) -> None:
         if compute.total_cores <= 0:
             raise ConfigurationError("need at least one core")
         if join_timeout <= 0:
             raise ConfigurationError("join_timeout must be positive")
+        if slave_mode not in SLAVE_MODES:
+            raise ConfigurationError(
+                f"unknown slave_mode {slave_mode!r}; expected one of {SLAVE_MODES}"
+            )
         self.app = app
         self.index = index
         self.stores = stores
@@ -117,6 +129,16 @@ class CloudBurstingRuntime:
         #: execution. Off (``None``) by default: the disabled path is a
         #: single ``None`` check.
         self.monitor = monitor
+        #: ``"thread"`` (the original in-process slaves) or ``"process"``
+        #: (a :class:`~repro.runtime.procpool.ProcessSlavePool`: decode +
+        #: local reduction in worker processes fed over shared memory —
+        #: GIL-free compute). The control plane is identical either way.
+        self.slave_mode = slave_mode
+        #: Reduction-object sharing discipline for process slaves
+        #: (:class:`~repro.core.shmem.ShmemStrategy`): full replication
+        #: (default) or chunk merge. Ignored in thread mode.
+        self.process_strategy = ShmemStrategy(process_strategy)
+        self.process_start_method = process_start_method
 
     def run(self) -> RuntimeResult:
         started = time.perf_counter()
@@ -176,6 +198,21 @@ class CloudBurstingRuntime:
             st = codec.stats
             sync_before = (st.uploads, st.wire_bytes, st.dense_bytes)
 
+        pool: ProcessSlavePool | None = None
+        if self.slave_mode == "process":
+            # Workers must exist before any runtime thread starts (fork
+            # safety), and one shared-memory segment per slave is sized to
+            # the largest chunk it can ever be handed.
+            pool = ProcessSlavePool(
+                self.app,
+                sum(self.compute.cores_at(site) for site in sites),
+                max_chunk_bytes=max(e.chunk_bytes for e in self.index.files),
+                units_per_group=self.tuning.units_per_group,
+                strategy=self.process_strategy,
+                start_method=self.process_start_method,
+                timeout=self.join_timeout,
+            )
+
         masters: list[MasterNode] = []
         masters_by_name: dict[str, MasterNode] = {}
         slaves: list[SlaveWorker] = []
@@ -222,6 +259,9 @@ class CloudBurstingRuntime:
                         sync_watermark=(
                             spec.watermark if spec is not None and spec.stream else 0
                         ),
+                        process_slave=(
+                            pool.slaves[slave_id] if pool is not None else None
+                        ),
                     )
                 )
                 slave_id += 1
@@ -266,24 +306,28 @@ class CloudBurstingRuntime:
             monitor.start()
 
         try:
-            result = head.join(timeout=self.join_timeout)
-        except RuntimeTimeoutError:
-            alive_masters = [m.name for m in masters if m.is_alive()]
-            alive_slaves = [s.slave_id for s in slaves if s.is_alive()]
-            raise RuntimeTimeoutError(
-                f"run did not complete within {self.join_timeout:g}s: the "
-                f"head node is still waiting; masters still alive: "
-                f"{alive_masters or 'none'}; slaves still alive: "
-                f"{alive_slaves or 'none'} — a hung slave or a lost "
-                f"message keeps the reduction from converging"
-            ) from None
+            try:
+                result = head.join(timeout=self.join_timeout)
+            except RuntimeTimeoutError:
+                alive_masters = [m.name for m in masters if m.is_alive()]
+                alive_slaves = [s.slave_id for s in slaves if s.is_alive()]
+                raise RuntimeTimeoutError(
+                    f"run did not complete within {self.join_timeout:g}s: the "
+                    f"head node is still waiting; masters still alive: "
+                    f"{alive_masters or 'none'}; slaves still alive: "
+                    f"{alive_slaves or 'none'} — a hung slave or a lost "
+                    f"message keeps the reduction from converging"
+                ) from None
+            finally:
+                if monitor is not None:
+                    monitor.stop()
+            for master in masters:
+                master.join(timeout=self.join_timeout)
+            for slave in slaves:
+                slave.join(timeout=self.join_timeout)
         finally:
-            if monitor is not None:
-                monitor.stop()
-        for master in masters:
-            master.join(timeout=self.join_timeout)
-        for slave in slaves:
-            slave.join(timeout=self.join_timeout)
+            if pool is not None:
+                pool.close()
 
         wall = time.perf_counter() - started
         telemetry = RunTelemetry(wall_seconds=wall)
@@ -296,6 +340,18 @@ class CloudBurstingRuntime:
             telemetry.slaves_failed += master.slaves_failed
             telemetry.jobs_reexecuted += master.jobs_reexecuted
 
+        telemetry.bytes_copied = reader.bytes_copied
+        telemetry.zero_copy_reads = reader.zero_copy_reads
+        if trace is not None:
+            # A one-line data-path digest on the timeline, so a trace read
+            # back from disk (`repro report`) can render the section.
+            trace.emit(
+                "data_path",
+                detail=(
+                    f"{reader.zero_copy_reads} zero-copy reads, "
+                    f"{reader.bytes_copied}B copied"
+                ),
+            )
         resilience = reader.resilience
         telemetry.retries = resilience.retries
         telemetry.hedges = resilience.hedges
@@ -345,6 +401,8 @@ class CloudBurstingRuntime:
             registry.counter("hedges").inc(telemetry.hedges)
             registry.counter("circuit_opens").inc(telemetry.circuit_opens)
             registry.counter("faults_injected").inc(telemetry.faults_injected)
+            registry.counter("zero_copy_reads").inc(telemetry.zero_copy_reads)
+            registry.counter("bytes_copied").inc(telemetry.bytes_copied)
             if codec is not None:
                 registry.counter("sync_uploads").inc(telemetry.sync_uploads)
                 registry.counter("sync_bytes_sent").inc(telemetry.sync_bytes_sent)

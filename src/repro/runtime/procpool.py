@@ -1,0 +1,314 @@
+"""GIL-free slave substrate: one worker *process* per slave.
+
+The threaded runtime keeps every ``local_reduction`` under one
+interpreter lock, so a CPU-bound application gains nothing from extra
+cores. :class:`ProcessSlavePool` moves the reduction kernel into worker
+processes while leaving the whole control plane — head, masters, the
+slave threads and their message protocol — exactly where it was: each
+:class:`~repro.runtime.slave.SlaveWorker` thread becomes a thin proxy
+that still requests jobs and fetches chunk bytes in the main process
+(sharing the reader, cache, and retry machinery), then hands the bytes
+to its worker process for decode + local reduction.
+
+The hand-off is engineered around the zero-copy data path:
+
+* chunk bytes cross the process boundary through one
+  :mod:`multiprocessing.shared_memory` segment per slave — a single
+  staging write on the proxy side, then a read-only ``np.frombuffer``
+  view on the worker side (no pickling, no pipe copies of data);
+* the reduction object crosses back through its existing
+  ``to_bytes()``/``from_bytes()`` envelope, under one of the
+  :class:`~repro.core.shmem.ShmemStrategy` sharing disciplines:
+  **full replication** (each worker accumulates privately and ships the
+  partial on flush — the FREERIDE default) or **chunk merge** (the
+  worker returns a per-chunk scratch object and the proxy folds it into
+  a main-process accumulator). Full locking needs a single object under
+  one lock, which separate address spaces cannot share; asking for it
+  raises.
+
+The master merges the proxies' reduction objects exactly as it merges
+threaded slaves' — the substrate is invisible above the slave.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing import shared_memory
+
+from ..core.api import GeneralizedReductionApp
+from ..core.reduction import ReductionObject, from_bytes
+from ..core.shmem import ShmemStrategy
+from ..errors import ConfigurationError, RuntimeProtocolError
+
+__all__ = ["ProcessSlave", "ProcessSlavePool", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``fork`` where available (fast, POSIX), else ``spawn``.
+
+    The pool is always constructed *before* the runtime starts any
+    thread, so forking is safe; ``spawn`` works everywhere and is
+    exercised by the tests, at ~1 s of interpreter start-up per worker.
+    """
+    return "fork" if "fork" in get_all_start_methods() else "spawn"
+
+
+def _worker_main(
+    conn,
+    shm_name: str,
+    app_blob: bytes,
+    units_per_group: int,
+    replicated: bool,
+) -> None:
+    """Worker-process loop: serve reduce/flush requests until told to exit.
+
+    Runs at module level so the ``spawn`` start method can import it.
+    Any exception inside a request is reported back as an ``("error",
+    traceback)`` reply and ends the worker — the proxy surfaces it as a
+    slave failure and the master re-executes the in-flight job elsewhere.
+    """
+    # Attaching registers the segment with the resource tracker again,
+    # but workers share the parent's tracker (its registry is a set), so
+    # the pool's own unlink-at-close remains the single cleanup point.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    app: GeneralizedReductionApp = pickle.loads(app_blob)
+    buf = memoryview(shm.buf)
+    robj = app.create_reduction_object() if replicated else None
+
+    def serve_reduce(nbytes: int) -> tuple:
+        # A read-only view straight over shared memory: the decode is
+        # zero-copy across the process boundary, and a kernel mutating
+        # its units raises here exactly as it would in a thread.
+        units = app.decode_chunk(buf[:nbytes].toreadonly())
+        target = robj if replicated else app.create_reduction_object()
+        for group in app.unit_groups(units, units_per_group):
+            app.local_reduction(target, group)
+        if replicated:
+            return ("ok", None)
+        return ("robj", target.to_bytes())
+
+    try:
+        while True:
+            try:
+                op, arg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if op == "exit":
+                break
+            try:
+                if op == "reduce":
+                    reply = serve_reduce(arg)
+                elif op == "flush":
+                    reply = ("robj", robj.to_bytes())
+                    robj = app.create_reduction_object()
+                else:
+                    reply = ("error", f"unknown op {op!r}")
+            except BaseException:
+                reply = ("error", traceback.format_exc())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+            if reply[0] == "error":
+                break
+    finally:
+        buf.release()
+        shm.close()
+        conn.close()
+
+
+class ProcessSlave:
+    """Parent-side handle for one worker process.
+
+    Used by exactly one :class:`~repro.runtime.slave.SlaveWorker` proxy
+    thread, so no internal locking is needed. ``reduce`` stages the
+    chunk into shared memory and blocks until the worker has consumed it
+    (the single buffer is reused per job; fetch/compute overlap comes
+    from the existing prefetcher, which pulls job *N+1*'s bytes while
+    the worker reduces job *N*). ``take`` returns the reduction partial
+    accumulated since the last ``take`` — the proxy calls it at the sync
+    watermark and at end of run, feeding the master the same
+    ``SlaveReduction`` messages a threaded slave would.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        slave_id: int,
+        app: GeneralizedReductionApp,
+        app_blob: bytes,
+        *,
+        capacity: int,
+        units_per_group: int,
+        strategy: ShmemStrategy,
+        timeout: float,
+    ) -> None:
+        self.slave_id = slave_id
+        self.timeout = timeout
+        self.strategy = strategy
+        self._app = app
+        self._capacity = capacity
+        self._replicated = strategy is ShmemStrategy.FULL_REPLICATION
+        self._acc: ReductionObject | None = None  # chunk-merge accumulator
+        #: Bytes staged into shared memory — the one intentional copy of
+        #: the process hand-off (the read path itself stays zero-copy).
+        self.shm_bytes = 0
+        self.chunks_reduced = 0
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(capacity, 1)
+        )
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._shm.name,
+                app_blob,
+                units_per_group,
+                self._replicated,
+            ),
+            name=f"slave-proc:{slave_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    def _recv(self) -> tuple:
+        if not self._conn.poll(self.timeout):
+            raise RuntimeProtocolError(
+                f"worker process for slave {self.slave_id} did not reply "
+                f"within {self.timeout:g}s"
+            )
+        try:
+            kind, payload = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeProtocolError(
+                f"worker process for slave {self.slave_id} died mid-request "
+                f"(exitcode={self._process.exitcode})"
+            ) from exc
+        if kind == "error":
+            raise RuntimeProtocolError(
+                f"worker process for slave {self.slave_id} failed:\n{payload}"
+            )
+        return kind, payload
+
+    def reduce(self, raw: "bytes | memoryview") -> None:
+        """Run decode + local reduction for one chunk in the worker."""
+        nbytes = raw.nbytes if isinstance(raw, memoryview) else len(raw)
+        if nbytes > self._capacity:
+            raise RuntimeProtocolError(
+                f"chunk of {nbytes} B exceeds slave {self.slave_id}'s "
+                f"shared-memory capacity of {self._capacity} B"
+            )
+        self._shm.buf[:nbytes] = raw
+        self.shm_bytes += nbytes
+        self._conn.send(("reduce", nbytes))
+        kind, payload = self._recv()
+        self.chunks_reduced += 1
+        if kind == "robj":  # chunk-merge: fold the scratch object here
+            scratch = from_bytes(payload)
+            if self._acc is None:
+                self._acc = scratch
+            else:
+                self._acc.merge(scratch)
+
+    def take(self) -> ReductionObject:
+        """The partial accumulated since the last ``take`` (resets it)."""
+        if self._replicated:
+            self._conn.send(("flush", None))
+            _, payload = self._recv()
+            return from_bytes(payload)
+        acc = self._acc
+        self._acc = None
+        return acc if acc is not None else self._app.create_reduction_object()
+
+    def close(self) -> None:
+        """Stop the worker and release the shared-memory segment."""
+        try:
+            self._conn.send(("exit", None))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._conn.close()
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ProcessSlavePool:
+    """All the worker processes for one run, created up front.
+
+    Construct *before* starting any runtime thread (forking a threaded
+    process is where the dragons live); the driver does exactly that.
+    ``slaves[i]`` plugs into ``SlaveWorker(process_slave=...)``.
+    """
+
+    def __init__(
+        self,
+        app: GeneralizedReductionApp,
+        workers: int,
+        *,
+        max_chunk_bytes: int,
+        units_per_group: int = 4096,
+        strategy: ShmemStrategy | str = ShmemStrategy.FULL_REPLICATION,
+        start_method: str | None = None,
+        timeout: float = 600.0,
+    ) -> None:
+        if workers <= 0:
+            raise ConfigurationError("process pool needs at least one worker")
+        if max_chunk_bytes <= 0:
+            raise ConfigurationError("max_chunk_bytes must be positive")
+        strategy = ShmemStrategy(strategy)
+        if strategy is ShmemStrategy.FULL_LOCKING:
+            raise ConfigurationError(
+                "full-locking shares one reduction object under one lock; "
+                "worker processes have separate address spaces — use "
+                "full-replication or chunk-merge"
+            )
+        self.strategy = strategy
+        ctx = get_context(start_method or default_start_method())
+        app_blob = pickle.dumps(app)
+        self.slaves: list[ProcessSlave] = []
+        try:
+            for slave_id in range(workers):
+                self.slaves.append(
+                    ProcessSlave(
+                        ctx,
+                        slave_id,
+                        app,
+                        app_blob,
+                        capacity=max_chunk_bytes,
+                        units_per_group=units_per_group,
+                        strategy=strategy,
+                        timeout=timeout,
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def shm_bytes(self) -> int:
+        """Total bytes staged into shared memory across all slaves."""
+        return sum(s.shm_bytes for s in self.slaves)
+
+    @property
+    def chunks_reduced(self) -> int:
+        return sum(s.chunks_reduced for s in self.slaves)
+
+    def close(self) -> None:
+        for slave in self.slaves:
+            slave.close()
+
+    def __enter__(self) -> "ProcessSlavePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

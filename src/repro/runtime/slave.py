@@ -12,6 +12,14 @@ With ``prefetch=True`` the job acquisition and chunk fetch move to a
 the reduction over job *N*, the prefetcher is already asking the master
 for job *N+1* and pulling its bytes, so retrieval overlaps compute. The
 default path constructs none of that machinery.
+
+With a ``process_slave`` (see :mod:`repro.runtime.procpool`) this thread
+becomes a proxy: it still owns the whole master conversation and the
+chunk fetch, but decode + local reduction run in a dedicated worker
+process fed through shared memory — the GIL-free substrate. The partials
+it posts (watermark flushes and the final hand-over) come from
+``process_slave.take()``, so the master cannot tell the substrates
+apart.
 """
 
 from __future__ import annotations
@@ -58,6 +66,7 @@ class SlaveWorker:
         take_timeout: float = 60.0,
         prefetch: bool = False,
         sync_watermark: int = 0,
+        process_slave=None,
     ) -> None:
         self.slave_id = slave_id
         self.cluster = cluster
@@ -77,6 +86,10 @@ class SlaveWorker:
         #: ``0`` (the default) keeps the original hand-over-at-exit path.
         self.sync_watermark = sync_watermark
         self.sync_flushes = 0
+        #: Optional :class:`~repro.runtime.procpool.ProcessSlave`: when
+        #: set, this thread proxies decode + local reduction to a worker
+        #: process instead of running them under the GIL.
+        self.process_slave = process_slave
         self._robj = None
         self._flushed_jobs: list[int] = []
         self._metrics = metrics
@@ -144,6 +157,10 @@ class SlaveWorker:
             self._work_pipelined(current)
         else:
             self._work_sequential(current)
+        if self.process_slave is not None:
+            # Pull the worker process's accumulated partial so the final
+            # hand-over below is identical to a threaded slave's.
+            self._robj = self.process_slave.take()
         self.master_inbox.post(
             SlaveReduction(
                 slave_id=self.slave_id,
@@ -161,6 +178,8 @@ class SlaveWorker:
             return
         if len(self._flushed_jobs) < self.sync_watermark:
             return
+        if self.process_slave is not None:
+            self._robj = self.process_slave.take()
         self.master_inbox.post(
             SlaveReduction(
                 slave_id=self.slave_id,
@@ -273,9 +292,14 @@ class SlaveWorker:
             )
         before_compute = telemetry.processing.total
         with telemetry.processing:
-            units = self.app.decode_chunk(raw)
-            for group in self.app.unit_groups(units, self.units_per_group):
-                self.app.local_reduction(robj, group)
+            if self.process_slave is not None:
+                # Stage the bytes into shared memory and block until the
+                # worker process has decoded + reduced them.
+                self.process_slave.reduce(raw)
+            else:
+                units = self.app.decode_chunk(raw)
+                for group in self.app.unit_groups(units, self.units_per_group):
+                    self.app.local_reduction(robj, group)
         if trace is not None:
             trace.emit(
                 "compute_end", cluster=self.cluster, worker=self.slave_id,

@@ -120,6 +120,14 @@ class RunTelemetry:
     sync_bytes_sent: int = 0
     sync_bytes_saved: int = 0
     sync_partial_merges: int = 0
+    #: Zero-copy data-path accounting (see :mod:`repro.data.dataset`):
+    #: ``zero_copy_reads`` counts chunk reads served as read-only views
+    #: over an existing buffer (cache hits, in-memory object-store
+    #: ranges); ``bytes_copied`` counts the bytes that had to be
+    #: materialized (retriever-joined remote reads, non-view backends).
+    #: A hot read loop proves itself copy-free when this stays 0.
+    zero_copy_reads: int = 0
+    bytes_copied: int = 0
     metrics: dict | None = None
     #: Causal-span digest (:func:`repro.obs.spans.span_summary`): per-phase
     #: time totals and the critical path through the makespan. Filled by
@@ -158,6 +166,8 @@ class RunTelemetry:
             "sync_bytes_sent": self.sync_bytes_sent,
             "sync_bytes_saved": self.sync_bytes_saved,
             "sync_partial_merges": self.sync_partial_merges,
+            "zero_copy_reads": self.zero_copy_reads,
+            "bytes_copied": self.bytes_copied,
             "clusters": {name: asdict(c) for name, c in self.clusters.items()},
             "metrics": self.metrics,
             "spans": self.spans,
@@ -193,6 +203,8 @@ class RunTelemetry:
                 sync_bytes_sent=int(doc.get("sync_bytes_sent", 0)),
                 sync_bytes_saved=int(doc.get("sync_bytes_saved", 0)),
                 sync_partial_merges=int(doc.get("sync_partial_merges", 0)),
+                zero_copy_reads=int(doc.get("zero_copy_reads", 0)),
+                bytes_copied=int(doc.get("bytes_copied", 0)),
                 metrics=doc.get("metrics"),
                 spans=doc.get("spans"),
             )

@@ -71,6 +71,21 @@ class StorageService(abc.ABC):
             length = validate_range(self.size(key), offset, None)
         return self.read_range(key, offset, length)
 
+    #: True when :meth:`read_view` aliases the stored blob instead of
+    #: copying — the reader uses this to account reads as zero-copy.
+    zero_copy_views: bool = False
+
+    def read_view(self, key: str, offset: int, nbytes: int) -> memoryview:
+        """Read a byte range as a read-only ``memoryview``.
+
+        Backends that hold blobs in memory override this to return a view
+        *aliasing* the stored bytes (no copy) and set
+        :attr:`zero_copy_views`; the default resolves onto
+        :meth:`read_range` (one copy) so every backend supports the view
+        interface.
+        """
+        return memoryview(self.read_range(key, offset, nbytes))
+
     @abc.abstractmethod
     def size(self, key: str) -> int:
         """Size in bytes of the blob under ``key``."""

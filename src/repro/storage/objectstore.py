@@ -78,7 +78,9 @@ class ObjectStore(StorageService):
             self._blobs[key] = bytes(data)
         self.stats.record_put(len(data))
 
-    def read_range(self, key: str, offset: int, nbytes: int) -> bytes:
+    def _ranged_get(self, key: str, offset: int, nbytes: int) -> tuple[bytes, int]:
+        """Shared GET bookkeeping: resolve the blob, clamp the range,
+        apply shaping, count the request. Returns ``(blob, actual)``."""
         with self._lock:
             blob = self._blobs.get(key)
         if blob is None:
@@ -89,7 +91,24 @@ class ObjectStore(StorageService):
             if delay > 0:
                 time.sleep(delay)
         self.stats.record_get(actual)
+        return blob, actual
+
+    def read_range(self, key: str, offset: int, nbytes: int) -> bytes:
+        blob, actual = self._ranged_get(key, offset, nbytes)
         return blob[offset : offset + actual]
+
+    #: Blobs are immutable in-memory ``bytes`` — views alias them safely.
+    zero_copy_views: bool = True
+
+    def read_view(self, key: str, offset: int, nbytes: int) -> memoryview:
+        """Zero-copy range GET: a read-only view over the stored blob.
+
+        ``put`` replaces (never mutates) blobs, so an outstanding view
+        keeps its blob alive by reference even after a replacing ``put``
+        or ``delete`` — the same aliasing guarantee cached chunks rely on.
+        """
+        blob, actual = self._ranged_get(key, offset, nbytes)
+        return memoryview(blob)[offset : offset + actual]
 
     def size(self, key: str) -> int:
         with self._lock:

@@ -280,6 +280,112 @@ def test_golden_matrix_iterative_pagerank_delta():
     assert runtime.telemetry.sync_bytes_saved > 0
 
 
+# -- Process substrate (GIL-free slaves) ------------------------------------
+#
+# The same golden matrix extended to slave_mode="process": decode + local
+# reduction run in worker processes over shared memory, and the results
+# must stay indistinguishable from the threaded runtime and the oracle.
+
+
+@pytest.mark.parametrize("app", GOLDEN_APPS)
+def test_golden_matrix_process_matches_serial(app):
+    config = repro.RunConfig(mode="runtime", slave_mode="process")
+    result = repro.run(app, _golden_dataset(app), config)
+    _assert_same_value(_baseline(app), result.value)
+
+
+def test_golden_matrix_process_chunk_merge():
+    """The chunk-merge sharing discipline (worker returns a scratch robj
+    per chunk, the proxy folds it in-process) gives the same answer."""
+    from repro.apps import make_bundle
+    from repro.data.dataset import build_dataset
+    from repro.runtime.driver import CloudBurstingRuntime
+    from repro.storage.objectstore import ObjectStore
+
+    dataset = _golden_dataset("wordcount")
+    bundle = make_bundle("wordcount", 1024)
+    stores = {"local": ObjectStore(), "cloud": ObjectStore()}
+    index = build_dataset(
+        dataset, PlacementSpec(0.5), bundle.schema, bundle.block_fn, stores
+    )
+    result = CloudBurstingRuntime(
+        bundle.app, index, stores, ComputeSpec(local_cores=2, cloud_cores=2),
+        slave_mode="process", process_strategy="chunk-merge",
+    ).run()
+    _assert_same_value(_baseline("wordcount"), result.value)
+
+
+def test_golden_matrix_process_sync_stream():
+    """Streamed partial flushes come out of the worker process at each
+    watermark; the merged result still matches the oracle."""
+    config = repro.RunConfig(
+        mode="runtime", slave_mode="process",
+        sync_stream=True, sync_watermark=2, sync_encoding="sparse",
+    )
+    result = repro.run("histogram", _golden_dataset("histogram"), config)
+    _assert_same_value(_baseline("histogram"), result.value)
+    assert result.telemetry.sync_partial_merges > 0
+
+
+def test_golden_matrix_process_cache_prefetch():
+    """Process slaves compose with the cache + prefetch pipeline (the
+    proxy thread still owns the fetch; only compute moved out)."""
+    config = repro.RunConfig(
+        mode="runtime", slave_mode="process",
+        cache_bytes=1 << 22, prefetch=True,
+    )
+    result = repro.run("moments", _golden_dataset("moments"), config)
+    _assert_same_value(_baseline("moments"), result.value)
+    assert result.telemetry.prefetches > 0
+
+
+def test_golden_matrix_process_ragged_groups():
+    """A units_per_group that does not divide the chunk's unit count
+    exercises the ragged final group inside the worker process."""
+    config = repro.RunConfig(
+        mode="runtime", slave_mode="process",
+        tuning=MiddlewareTuning(units_per_group=7),
+    )
+    result = repro.run("knn", _golden_dataset("knn"), config)
+    _assert_same_value(_baseline("knn"), result.value)
+
+
+# -- Zero-copy corners -------------------------------------------------------
+
+
+@pytest.mark.parametrize("slave_mode", ["thread", "process"])
+def test_golden_matrix_zero_copy_hot_loop(slave_mode):
+    """With stealing off every read is same-site: the whole run is served
+    as read-only views and the copy counter stays at zero."""
+    config = repro.RunConfig(
+        mode="runtime", slave_mode=slave_mode,
+        tuning=MiddlewareTuning(allow_stealing=False),
+    )
+    result = repro.run("histogram", _golden_dataset("histogram"), config)
+    _assert_same_value(_baseline("histogram"), result.value)
+    t = result.telemetry
+    assert t.bytes_copied == 0
+    assert t.zero_copy_reads == t.total_jobs == 16
+
+
+def test_golden_matrix_zero_copy_serial_cached():
+    """Serial two-pass run over a cache: single-stream reads against
+    in-memory stores are views even cross-site, and pass 2's cloud chunks
+    come back as cache hits — the whole run never copies a byte."""
+    dataset = _golden_dataset("kmeans")
+    result = repro.run(
+        "kmeans", dataset,
+        repro.RunConfig(mode="serial", iterations=2, cache_bytes=1 << 22,
+                        app_params={"k": 4}),
+    )
+    t = result.telemetry
+    # 16 chunks/pass x 2 passes, all served as views; the 8 cloud chunks
+    # hit the cache on pass 2.
+    assert t.zero_copy_reads == 32
+    assert t.bytes_copied == 0
+    assert t.cache_hits == 8
+
+
 @pytest.mark.parametrize("cache_bytes,prefetch", CACHE_MATRIX)
 def test_golden_matrix_iterative_kmeans(cache_bytes, prefetch):
     """Three kmeans passes end in the same centroids on both executable
