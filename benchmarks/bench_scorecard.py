@@ -19,7 +19,9 @@ makespans, byte counts, and data-path read accounting — deterministic
 for a given seed, so the default 10 % tolerance only has to absorb
 float-summation jitter, not machine speed. The ``micro`` section is wall
 clock (including the thread- vs process-slave comparison) and therefore
-never gated.
+never gated. The ``service`` section is also wall clock, but carries its
+own hard bound inside the collector: the service-wrapped ``repro.run()``
+must stay within 2 % of ``run_direct``.
 """
 
 from __future__ import annotations
@@ -55,8 +57,10 @@ from conftest import print_block
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")
 
 #: Snapshot sections that are wall-clock measurements: recorded for the
-#: artifact, never compared against the baseline.
-INFORMATIONAL = ("micro",)
+#: artifact, never compared against the baseline. (The ``service``
+#: section's <2% overhead bound is asserted inside its collector — wall
+#: clock is gated at collection time, not against the baseline.)
+INFORMATIONAL = ("micro", "service")
 
 
 @pytest.mark.benchmark(group="scorecard")
@@ -170,13 +174,81 @@ def collect_zero_copy(*, units: int, seed: int) -> dict:
     cached = repro.run(
         "histogram", spec,
         repro.RunConfig(mode="serial", seed=seed, iterations=1,
-                        cache_bytes=1 << 30),
+                        cache=repro.CacheOptions(bytes=1 << 30)),
     ).telemetry
     return {
         "hot_loop_reads": hot.zero_copy_reads,
         "hot_loop_bytes_copied": hot.bytes_copied,
         "serial_view_reads": cached.zero_copy_reads,
         "serial_bytes_copied": cached.bytes_copied,
+    }
+
+
+def collect_service(*, units: int, seed: int) -> dict:
+    """Single-tenant service overhead — wall clock, gated at collection.
+
+    ``repro.run()`` is now ``JobService.submit(...).result()`` on an
+    inline service; its admission/queue/handle machinery must be noise
+    next to a real run. The gate isolates the two terms so machine
+    jitter in the multi-millisecond engine run cannot mask (or fake) a
+    regression in the microsecond-scale ceremony:
+
+    * ``ceremony_ms`` — the full wrapped path with a no-op executor:
+      service construction, admission, fair-share dispatch, handle
+      resolution, drain, shutdown. Exactly what ``run()`` adds.
+    * ``direct_ms`` — a real serial histogram run.
+
+    The hard bound asserts ceremony < 2 % of the real run. Paired
+    direct-vs-wrapped wall timings are recorded alongside for the
+    artifact (informational — at ~2 % the pairing is dominated by
+    scheduler noise on a shared CI box).
+    """
+    import repro
+    from repro.service import JobService
+
+    spec = DatasetSpec(
+        total_bytes=units * 8,
+        num_files=4,
+        chunk_bytes=(units // 16) * 8,
+        record_bytes=8,
+    )
+    config = repro.RunConfig(mode="serial", seed=seed)
+    direct = lambda: repro.run_direct("histogram", spec, config)  # noqa: E731
+    wrapped = lambda: repro.run("histogram", spec, config)  # noqa: E731
+
+    def ceremony():
+        with JobService(workers=0, executor=lambda *a: None) as service:
+            service.submit("histogram", spec, config, validate=False).result()
+
+    for _ in range(3):  # warm caches before any timed pass
+        direct()
+        wrapped()
+
+    reps = 7
+    t_ceremony = min(
+        timeit.timeit(ceremony, number=20) / 20 for _ in range(reps)
+    )
+    direct_times, wrapped_times = [], []
+    for i in range(reps):
+        pair = [("direct", direct), ("wrapped", wrapped)]
+        if i % 2:
+            pair.reverse()
+        for label, fn in pair:
+            t = timeit.timeit(fn, number=3) / 3
+            (direct_times if label == "direct" else wrapped_times).append(t)
+    t_direct = min(direct_times)
+    t_wrapped = min(wrapped_times)
+    overhead = t_ceremony / t_direct
+    assert overhead < 0.02, (
+        f"service ceremony costs {overhead * 100:.2f}% of a direct run "
+        f"({t_ceremony * 1e6:.0f}us over {t_direct * 1e3:.2f}ms); "
+        f"bound is 2%"
+    )
+    return {
+        "ceremony_us": round(t_ceremony * 1e6, 2),
+        "direct_ms": round(t_direct * 1e3, 3),
+        "wrapped_ms": round(t_wrapped * 1e3, 3),
+        "overhead_pct": round(overhead * 100, 3),
     }
 
 
@@ -219,6 +291,9 @@ def collect_snapshot(*, smoke: bool, seed: int) -> dict:
     scale = 0.05 if smoke else 1.0
     sync_units, sync_iters = (8192, 2) if smoke else (65536, 8)
     zero_copy_units = 2048 if smoke else 16384
+    # Big enough that one serial run is ~15ms — the per-call service
+    # machinery is ~0.1ms, so anything smaller can't resolve a 2% bound.
+    service_units = 65536 if smoke else 262144
     return {
         "config": {
             "smoke": smoke,
@@ -227,6 +302,7 @@ def collect_snapshot(*, smoke: bool, seed: int) -> dict:
             "sync_units": sync_units,
             "sync_iterations": sync_iters,
             "zero_copy_units": zero_copy_units,
+            "service_units": service_units,
         },
         "figure3": collect_figure3(scale=scale, seed=seed),
         "cache": collect_cache(scale=scale, seed=seed),
@@ -234,6 +310,7 @@ def collect_snapshot(*, smoke: bool, seed: int) -> dict:
             units=sync_units, iterations=sync_iters, seed=seed
         ),
         "zero_copy": collect_zero_copy(units=zero_copy_units, seed=seed),
+        "service": collect_service(units=service_units, seed=seed),
         "micro": collect_micro(seed=seed),
     }
 

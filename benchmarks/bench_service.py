@@ -1,0 +1,345 @@
+"""Service-load bench: many tenants, many runs, one JobService.
+
+The multi-run job service's acceptance bound, measured end to end:
+
+* **Load shape** — ``--smoke`` drives 96 runs from 4 tenants (weights
+  8/4/2/1) through a threaded :class:`repro.JobService` on a
+  :class:`~repro.clock.FakeClock`, so the whole contended hour of
+  virtual service time costs seconds of wall time and is deterministic.
+* **Fairness gate** — over the dispatch prefix where every tenant still
+  has work queued, each tenant's observed share of dispatches must be
+  within 1.5x of its configured weight share (both directions).
+* **Latency** — p50/p90/p99 submit-to-result latency per tenant, in
+  virtual seconds, from the service's own run records.
+* **Queue-depth timeline** — service backlog sampled at fixed virtual
+  intervals, reconstructed from submit/dispatch timestamps.
+* **Real-execution smoke** — a handful of real serial runs through the
+  same API, proving the stub-exercised scheduler drives actual engines.
+
+CI runs ``python bench_service.py --smoke --json service-load.json`` and
+uploads the JSON artifact; the fairness and completion gates make the
+job red when scheduling regresses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro import (
+    DatasetSpec,
+    FakeClock,
+    JobService,
+    RunConfig,
+    RunState,
+    TenantSpec,
+)
+from repro.facade import RunResult
+
+from conftest import print_block
+
+#: The smoke load: four tenants with strongly skewed weights, enough
+#: runs each that every tenant stays backlogged deep into the run.
+SMOKE_TENANTS = {"gold": 8.0, "silver": 4.0, "bronze": 2.0, "free": 1.0}
+SMOKE_RUNS_PER_TENANT = 24  # 96 total, >= the 64-run acceptance floor
+FAIRNESS_BOUND = 1.5
+
+#: Virtual work per run, varied per tenant so the timeline is not flat.
+WORK_SECONDS = {"gold": 2.0, "silver": 3.0, "bronze": 4.0, "free": 5.0}
+
+
+def virtual_load(
+    *,
+    tenants: dict[str, float],
+    runs_per_tenant: int,
+    workers: int,
+) -> dict:
+    """Drive the synthetic load in virtual time; return the raw records."""
+    clock = FakeClock()
+
+    def execute(app, dataset, config):
+        tenant = app.split("/", 1)[0]
+        seconds = WORK_SECONDS.get(tenant, 3.0)
+        clock.sleep(seconds)
+        return RunResult(value=app, mode="stub", wall_seconds=seconds)
+
+    service = JobService(
+        workers=workers, clock=clock, executor=execute, name="bench"
+    )
+    for name, weight in tenants.items():
+        service.register(TenantSpec(name, weight=weight))
+
+    handles = []
+    # Interleave submissions so no tenant gets a head start in the queue.
+    for i in range(runs_per_tenant):
+        for name in tenants:
+            handles.append(
+                service.submit(f"{name}/{i}", None, tenant=name, priority=0)
+            )
+    for handle in handles:
+        handle.result(timeout=1_000_000)
+    service.shutdown()
+    makespan = clock.monotonic()
+    clock.close()
+
+    records = [
+        {
+            "run_id": run.run_id,
+            "tenant": run.tenant,
+            "submitted_at": run.submitted_at,
+            "started_at": run.started_at,
+            "finished_at": run.finished_at,
+            "state": run.state.value,
+        }
+        for run in (h._record() for h in handles)
+    ]
+    return {"records": records, "makespan": makespan, "stats": service.stats()}
+
+
+# -- metric derivation -------------------------------------------------------
+
+
+def fairness_over_backlogged_prefix(
+    records: list[dict], tenants: dict[str, float]
+) -> dict:
+    """Observed vs expected dispatch share while all tenants backlogged.
+
+    The prefix ends at the dispatch where some tenant's backlog empties;
+    inside it, stride scheduling should track the weight vector closely.
+    """
+    order = sorted(
+        (r for r in records if r["started_at"] is not None),
+        key=lambda r: (r["started_at"], r["run_id"]),
+    )
+    per_tenant_total = {name: 0 for name in tenants}
+    for r in order:
+        per_tenant_total[r["tenant"]] += 1
+    remaining = dict(per_tenant_total)
+    prefix = []
+    for r in order:
+        if min(remaining.values()) == 0:
+            break
+        prefix.append(r["tenant"])
+        remaining[r["tenant"]] -= 1
+    total_weight = sum(tenants.values())
+    out = {"prefix_dispatches": len(prefix), "tenants": {}}
+    worst = 1.0
+    for name, weight in tenants.items():
+        expected = len(prefix) * weight / total_weight
+        got = prefix.count(name)
+        ratio = (
+            max(got / expected, expected / got)
+            if got and expected
+            else float("inf")
+        )
+        worst = max(worst, ratio)
+        out["tenants"][name] = {
+            "weight": weight,
+            "dispatched": got,
+            "expected": round(expected, 1),
+            "ratio": round(ratio, 3),
+        }
+    out["worst_ratio"] = round(worst, 3)
+    return out
+
+
+def percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def latency_summary(records: list[dict]) -> dict:
+    """Submit-to-result latency per tenant and overall, virtual seconds."""
+    out = {}
+    by_tenant: dict[str, list[float]] = {}
+    for r in records:
+        if r["finished_at"] is None:
+            continue
+        by_tenant.setdefault(r["tenant"], []).append(
+            r["finished_at"] - r["submitted_at"]
+        )
+    everything = [v for values in by_tenant.values() for v in values]
+    for name, values in sorted(by_tenant.items()):
+        out[name] = {
+            "p50_s": round(percentile(values, 0.50), 2),
+            "p90_s": round(percentile(values, 0.90), 2),
+            "p99_s": round(percentile(values, 0.99), 2),
+        }
+    out["all"] = {
+        "p50_s": round(percentile(everything, 0.50), 2),
+        "p90_s": round(percentile(everything, 0.90), 2),
+        "p99_s": round(percentile(everything, 0.99), 2),
+    }
+    return out
+
+
+def queue_depth_timeline(
+    records: list[dict], makespan: float, *, points: int = 24
+) -> list[dict]:
+    """Backlog depth (submitted, not yet dispatched) at fixed ticks."""
+    step = makespan / points if points else makespan
+    ticks = [round(i * step, 2) for i in range(1, points + 1)]
+    timeline = []
+    for t in ticks:
+        queued = sum(
+            1
+            for r in records
+            if r["submitted_at"] <= t
+            and (r["started_at"] is None or r["started_at"] > t)
+        )
+        running = sum(
+            1
+            for r in records
+            if r["started_at"] is not None
+            and r["started_at"] <= t
+            and (r["finished_at"] is None or r["finished_at"] > t)
+        )
+        timeline.append({"t": t, "queued": queued, "running": running})
+    return timeline
+
+
+# -- real-execution smoke ----------------------------------------------------
+
+
+def real_smoke(seed: int) -> dict:
+    """A few real serial runs through the service API, end to end."""
+    dataset = DatasetSpec(
+        total_bytes=2048 * 4, num_files=4, chunk_bytes=512, record_bytes=4
+    )
+    config = RunConfig(mode="serial", seed=seed)
+    with JobService(name="bench-real") as service:
+        handles = [
+            service.submit("wordcount", dataset, config, tenant=f"t{i % 2}")
+            for i in range(4)
+        ]
+        values = [h.result().value for h in handles]
+    assert all(values), "real serial run returned nothing"
+    assert all(h.status().state is RunState.DONE for h in handles)
+    return {"runs": len(handles), "mode": "serial", "all_done": True}
+
+
+# -- report ------------------------------------------------------------------
+
+
+def render(doc: dict) -> str:
+    lines = ["service load bench"]
+    cfg = doc["config"]
+    lines.append(
+        f"  {cfg['total_runs']} runs, {len(cfg['tenants'])} tenants, "
+        f"{cfg['workers']} workers, virtual makespan "
+        f"{doc['makespan_s']:.1f}s"
+    )
+    lines.append(
+        f"  fairness over first {doc['fairness']['prefix_dispatches']} "
+        f"dispatches (all tenants backlogged), bound {FAIRNESS_BOUND}x:"
+    )
+    for name, row in doc["fairness"]["tenants"].items():
+        lines.append(
+            f"    {name:<8} weight {row['weight']:>4}  "
+            f"dispatched {row['dispatched']:>3}  "
+            f"expected {row['expected']:>5}  ratio {row['ratio']:.3f}x"
+        )
+    lines.append(f"  worst fairness ratio: {doc['fairness']['worst_ratio']}x")
+    lines.append("  submit-to-result latency (virtual seconds):")
+    for name, row in doc["latency"].items():
+        lines.append(
+            f"    {name:<8} p50 {row['p50_s']:>7}  p90 {row['p90_s']:>7}  "
+            f"p99 {row['p99_s']:>7}"
+        )
+    peak = max(point["queued"] for point in doc["queue_depth"])
+    lines.append(f"  peak queue depth: {peak}")
+    lines.append(
+        f"  real-execution smoke: {doc['real']['runs']} serial runs, "
+        f"all DONE"
+    )
+    return "\n".join(lines)
+
+
+def run_bench(
+    *,
+    tenants: dict[str, float],
+    runs_per_tenant: int,
+    workers: int,
+    seed: int,
+) -> dict:
+    load = virtual_load(
+        tenants=tenants, runs_per_tenant=runs_per_tenant, workers=workers
+    )
+    records = load["records"]
+    fairness = fairness_over_backlogged_prefix(records, tenants)
+    doc = {
+        "config": {
+            "tenants": tenants,
+            "runs_per_tenant": runs_per_tenant,
+            "total_runs": len(records),
+            "workers": workers,
+            "seed": seed,
+            "fairness_bound": FAIRNESS_BOUND,
+        },
+        "makespan_s": round(load["makespan"], 2),
+        "fairness": fairness,
+        "latency": latency_summary(records),
+        "queue_depth": queue_depth_timeline(records, load["makespan"]),
+        "real": real_smoke(seed),
+    }
+
+    # Gates: the bench is red, not merely informative, when these fail.
+    assert len(records) >= 64, f"only {len(records)} runs (floor is 64)"
+    assert len(tenants) >= 4, f"only {len(tenants)} tenants (floor is 4)"
+    assert all(r["state"] == "done" for r in records), "non-DONE runs"
+    assert fairness["worst_ratio"] <= FAIRNESS_BOUND, (
+        f"fairness ratio {fairness['worst_ratio']}x exceeds "
+        f"{FAIRNESS_BOUND}x bound: {fairness['tenants']}"
+    )
+    return doc
+
+
+# -- pytest entry point (collected when benchmarks run under pytest) --------
+
+
+def test_service_load_smoke():
+    doc = run_bench(
+        tenants=SMOKE_TENANTS,
+        runs_per_tenant=SMOKE_RUNS_PER_TENANT,
+        workers=8,
+        seed=2011,
+    )
+    print_block(render(doc))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized load (96 runs / 4 tenants / 8 workers)",
+    )
+    parser.add_argument("--runs-per-tenant", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the load report to PATH"
+    )
+    args = parser.parse_args(argv)
+
+    runs_per_tenant = args.runs_per_tenant or (
+        SMOKE_RUNS_PER_TENANT if args.smoke else 64
+    )
+    doc = run_bench(
+        tenants=SMOKE_TENANTS,
+        runs_per_tenant=runs_per_tenant,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    print_block(render(doc))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

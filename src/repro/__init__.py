@@ -54,7 +54,13 @@ from .config import (
 from .core import GeneralizedReductionApp, ReductionObject, run_serial
 from .core.sync import SyncSpec
 from .errors import ReproError
-from .facade import RunConfig, RunResult, run
+from .facade import RunConfig, RunResult, run, run_direct
+from .options import (
+    CacheOptions,
+    MonitorOptions,
+    ResilienceOptions,
+    SyncOptions,
+)
 from .resilience import (
     CircuitBreaker,
     FaultInjector,
@@ -62,6 +68,7 @@ from .resilience import (
     RetryPolicy,
 )
 from .runtime import CloudBurstingRuntime, run_centralized, run_iterative
+from .service import JobService, RunHandle, RunState, RunStatus, TenantSpec
 from .sim import PAPER_CALIBRATION, SimCalibration, SimReport, simulate
 
 __version__ = "1.0.0"
@@ -94,8 +101,18 @@ __all__ = [
     "SyncSpec",
     "run_serial",
     "run",
+    "run_direct",
     "RunConfig",
     "RunResult",
+    "CacheOptions",
+    "SyncOptions",
+    "MonitorOptions",
+    "ResilienceOptions",
+    "JobService",
+    "TenantSpec",
+    "RunHandle",
+    "RunState",
+    "RunStatus",
     "CircuitBreaker",
     "FaultInjector",
     "FaultSpec",

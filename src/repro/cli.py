@@ -178,6 +178,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run N passes (iterative apps only)")
 
     p = sub.add_parser(
+        "submit",
+        help="submit one or more runs to a job service and execute them "
+        "in fair-share order (multi-tenant scheduling demo; with "
+        "--journal, `repro status`/`repro cancel` see the runs from "
+        "other terminals)",
+    )
+    p.add_argument(
+        "apps", nargs="+", metavar="APP",
+        help="app registry keys; prefix with 'tenant:' to submit under a "
+        "named tenant (e.g. analytics:kmeans adhoc:wordcount)",
+    )
+    p.add_argument("--units", type=int, default=4096,
+                   help="data units for the shared in-memory dataset")
+    p.add_argument("--local-cores", type=int, default=2)
+    p.add_argument("--cloud-cores", type=int, default=2)
+    p.add_argument("--local-fraction", type=float, default=0.5)
+    p.add_argument(
+        "--weight", action="append", default=[], metavar="TENANT=W",
+        help="fair-share weight for a tenant (repeatable; default 1)",
+    )
+    p.add_argument("--priority", type=int, default=0,
+                   help="priority within each tenant (higher first)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="service dispatcher threads (0 = inline)")
+    p.add_argument("--journal", metavar="STATE.json",
+                   help="persist run state for `repro status` / "
+                   "`repro cancel`")
+
+    p = sub.add_parser(
+        "status",
+        help="report runs recorded in a service journal file",
+    )
+    p.add_argument("journal", metavar="STATE.json",
+                   help="journal written by `repro submit --journal` or a "
+                   "JobService(journal=...)")
+    p.add_argument("run_id", nargs="?",
+                   help="show one run in detail instead of the table")
+
+    p = sub.add_parser(
+        "cancel",
+        help="file a cancel request for a queued run in a service journal "
+        "(honored at dispatch; running runs are never preempted)",
+    )
+    p.add_argument("journal", metavar="STATE.json")
+    p.add_argument("run_id")
+
+    p = sub.add_parser(
         "multisite", help="simulate an N-site experiment from a JSON config"
     )
     p.add_argument("config", help="path to a multisite JSON document")
@@ -634,6 +681,7 @@ def _cmd_watch(args: argparse.Namespace) -> None:
     from .config import ComputeSpec, DatasetSpec, PlacementSpec
     from .facade import RunConfig
     from .facade import run as run_app
+    from .options import MonitorOptions
 
     files, chunks_per_file = 4, 4
     chunks = files * chunks_per_file
@@ -662,14 +710,149 @@ def _cmd_watch(args: argparse.Namespace) -> None:
         ),
         seed=args.seed,
         iterations=args.iterations,
-        monitor_interval=args.interval,
-        on_sample=lambda sample: print(_sample_line(sample), flush=True),
+        monitor=MonitorOptions(
+            interval=args.interval,
+            on_sample=lambda sample: print(_sample_line(sample), flush=True),
+        ),
     )
     result = run_app(bundle, spec, config)
     t = result.telemetry
     print(f"\ndone: wall {t.wall_seconds:.3f}s, {t.total_jobs} jobs "
           f"({t.total_stolen} stolen), {len(result.samples)} samples"
           + (f", {result.passes} passes" if result.passes > 1 else ""))
+
+
+def _submit_dataset(args: argparse.Namespace, record_bytes: int):
+    """Shared in-memory dataset spec for `submit` (same shape as watch)."""
+    from .config import DatasetSpec
+
+    files, chunks_per_file = 4, 4
+    chunks = files * chunks_per_file
+    if args.units % chunks != 0:
+        raise ConfigurationError(f"--units must be divisible by {chunks}")
+    return DatasetSpec(
+        total_bytes=args.units * record_bytes,
+        num_files=files,
+        chunk_bytes=(args.units // chunks) * record_bytes,
+        record_bytes=record_bytes,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> None:
+    from .apps.base import get_profile
+    from .config import ComputeSpec, PlacementSpec
+    from .facade import RunConfig
+    from .service import JobService, TenantSpec
+
+    weights: dict[str, float] = {}
+    for item in args.weight:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise ConfigurationError(
+                f"--weight takes TENANT=W (e.g. analytics=4), got {item!r}"
+            )
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"--weight {item!r}: {value!r} is not a number"
+            ) from None
+
+    submissions = []  # (tenant, app_key)
+    for entry in args.apps:
+        tenant, sep, app_key = entry.partition(":")
+        if not sep:
+            tenant, app_key = "default", entry
+        submissions.append((tenant, app_key))
+
+    with JobService(workers=args.workers, journal=args.journal) as service:
+        for tenant in {t for t, _ in submissions} | set(weights):
+            service.register(TenantSpec(tenant, weight=weights.get(tenant, 1.0)))
+        handles = []
+        for tenant, app_key in submissions:
+            config = RunConfig(
+                mode="runtime",
+                placement=PlacementSpec(args.local_fraction),
+                compute=ComputeSpec(
+                    local_cores=args.local_cores,
+                    cloud_cores=args.cloud_cores,
+                ),
+                seed=args.seed,
+                name=f"{tenant}/{app_key}",
+            )
+            dataset = _submit_dataset(
+                args, get_profile(app_key).record_bytes
+            )
+            handle = service.submit(
+                app_key, dataset, config,
+                tenant=tenant, priority=args.priority,
+            )
+            print(f"submitted {handle.run_id}  tenant={tenant}  app={app_key}")
+            handles.append((handle, app_key))
+        rows = []
+        for handle, app_key in handles:
+            try:
+                result = handle.result()
+                outcome = f"ok ({result.wall_seconds:.3f}s wall)"
+            except ReproError as exc:
+                outcome = f"failed: {exc}"
+            status = handle.status()
+            rows.append((handle.run_id, status.tenant, app_key,
+                         status.state.value, outcome))
+        print()
+        print(render_table(
+            ("run", "tenant", "app", "state", "outcome"), rows
+        ))
+        stats = service.stats()
+    dispatch = {
+        name: t["dispatched"] for name, t in stats["tenants"].items()
+    }
+    print(f"\ndispatched per tenant: {dispatch}")
+    if args.journal:
+        print(f"journal: {args.journal} (try `repro status {args.journal}`)")
+
+
+def _cmd_status(args: argparse.Namespace) -> None:
+    from .service import ServiceJournal
+
+    journal = ServiceJournal(args.journal)
+    runs = journal.runs()
+    if args.run_id is not None:
+        run = runs.get(args.run_id)
+        if run is None:
+            raise ConfigurationError(
+                f"run {args.run_id!r} not found in {args.journal}"
+            )
+        for key in ("tenant", "state", "priority", "app",
+                    "submitted_at", "started_at", "finished_at", "error"):
+            print(f"{key}: {run.get(key)}")
+        return
+    if not runs:
+        print(f"no runs recorded in {args.journal}")
+        return
+    rows = [
+        (run_id, run["tenant"], run["app"], run["state"],
+         run["error"] or "")
+        for run_id, run in sorted(runs.items())
+    ]
+    print(render_table(("run", "tenant", "app", "state", "error"), rows))
+    pending = journal.cancel_requests()
+    if pending:
+        print(f"\noutstanding cancel requests: {sorted(pending)}")
+
+
+def _cmd_cancel(args: argparse.Namespace) -> None:
+    from .service import ServiceJournal
+
+    journal = ServiceJournal(args.journal)
+    runs = journal.runs()
+    run = runs.get(args.run_id)
+    if run is not None and run["state"] not in ("queued", "running"):
+        print(f"{args.run_id} is already {run['state']}; nothing to cancel")
+        return
+    journal.request_cancel(args.run_id)
+    print(f"cancel requested for {args.run_id}; the service honors it "
+          f"when (and if) the run reaches dispatch")
 
 
 def _cmd_multisite(args: argparse.Namespace) -> None:
@@ -756,6 +939,9 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "report": _cmd_report,
     "watch": _cmd_watch,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "cancel": _cmd_cancel,
     "multisite": _cmd_multisite,
     "sweep": _cmd_sweep,
     "stealing": _cmd_stealing,

@@ -113,3 +113,36 @@ class TraceError(SimulationError):
 
 class ObservabilityError(ReproError):
     """A metrics instrument was registered or used inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The multi-run job service was used inconsistently.
+
+    Examples: submitting to a service that is already draining, or
+    operating a handle whose service has been shut down.
+    """
+
+
+class AdmissionError(ServiceError):
+    """A submission was rejected at the admission gate.
+
+    Raised when a tenant is over its pending quota or the service is at
+    global capacity; the message names the limit so callers can back off
+    or resubmit with different placement.
+    """
+
+
+class RunCancelledError(ServiceError):
+    """The run behind a handle was cancelled before it produced a result.
+
+    Raised by ``RunHandle.result()``; ``handle.status()`` stays usable
+    and reports ``CANCELLED``.
+    """
+
+
+class ServiceTimeoutError(ServiceError):
+    """A ``RunHandle.result(timeout=...)`` deadline elapsed.
+
+    The run keeps executing — the timeout abandons the wait, not the
+    work; call ``result()`` again or ``cancel()`` to stop it.
+    """

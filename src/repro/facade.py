@@ -16,14 +16,26 @@ its own setup ritual. :func:`run` collapses them behind one call:
 ``mode`` selects the engine; everything else (placement, compute split,
 tuning, fault injection, retry policy, observability hooks) lives on
 :class:`RunConfig` and means the same thing in every mode that supports
-it. The legacy entrypoints remain as thin, stable shims — the facade
-calls into the very same code, and ``tests/test_run_facade.py`` pins the
-equivalence — but new code should start here.
+it. The knobs are grouped into nested option families
+(:class:`~repro.options.CacheOptions`, :class:`~repro.options.SyncOptions`,
+:class:`~repro.options.MonitorOptions`,
+:class:`~repro.options.ResilienceOptions`); every legacy flat kwarg still
+works through a deprecation shim, and the flat attribute reads
+(``config.cache_bytes`` and friends) remain first-class.
+
+:func:`run` itself is now a thin wrapper over the multi-run
+:class:`repro.service.JobService` — ``submit(...).result()`` on a
+single-use inline service — so the single-run door and the multi-tenant
+door exercise the same admission/scheduling path.
+:func:`run_direct` keeps the pre-service dispatch alive as the
+equivalence-pinned legacy path (``tests/test_run_facade.py``,
+``tests/test_service.py``).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -47,6 +59,7 @@ from .errors import ConfigurationError
 from .obs.events import EventLog
 from .obs.live import RunMonitor, RunSample, samples_from_log
 from .obs.metrics import MetricsRegistry
+from .options import CacheOptions, MonitorOptions, ResilienceOptions, SyncOptions
 from .resilience.faults import FaultInjector, FaultSpec
 from .resilience.retry import RetryPolicy
 from .runtime.driver import SLAVE_MODES, CloudBurstingRuntime, RuntimeResult
@@ -56,13 +69,65 @@ from .sim.simulation import CloudBurstSimulation
 from .storage.base import StorageService
 from .storage.objectstore import ObjectStore
 
-__all__ = ["RunConfig", "RunResult", "run"]
+__all__ = ["RunConfig", "RunResult", "run", "run_direct"]
 
 #: The engines :func:`run` can drive.
 MODES = ("serial", "simulate", "runtime")
 
 
-@dataclass(frozen=True)
+class _Unset:
+    """Sentinel distinguishing "flat kwarg not passed" from any real value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+#: nested field name -> option class, in declaration order.
+_OPTION_FAMILIES = {
+    "cache": CacheOptions,
+    "sync": SyncOptions,
+    "monitor": MonitorOptions,
+    "resilience": ResilienceOptions,
+}
+
+
+def _merge_options(name: str, cls: type, nested: Any, given: dict[str, Any]):
+    """Reconcile a nested option spec with explicitly-passed flat kwargs.
+
+    ``given`` maps nested attribute names to the flat values the caller
+    passed. Flat-only construction warns and builds the spec; nested-only
+    passes through; both together are accepted silently when they agree
+    and refused when they disagree (silently preferring either one would
+    hide a bug in the caller).
+    """
+    if not given:
+        return nested if nested is not None else cls()
+    flat_names = ", ".join(sorted(cls.FLAT[attr] for attr in given))
+    if nested is None:
+        warnings.warn(
+            f"flat RunConfig kwarg(s) {flat_names} are deprecated; pass "
+            f"{name}={cls.__name__}(...) instead (see docs/API.md for the "
+            f"flat-to-nested migration table)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return cls(**given)
+    for attr, value in given.items():
+        if cls is ResilienceOptions and attr == "faults" and isinstance(value, str):
+            value = FaultSpec.parse(value)
+        current = getattr(nested, attr)
+        if current != value:
+            raise ConfigurationError(
+                f"RunConfig got both {name}={cls.__name__}(...) and the flat "
+                f"kwarg {cls.FLAT[attr]}={value!r}, and they disagree "
+                f"({name}.{attr} is {current!r}); drop the flat kwarg"
+            )
+    return nested
+
+
+@dataclass(frozen=True, init=False)
 class RunConfig:
     """Everything about *how* to execute, independent of the app and data.
 
@@ -71,23 +136,8 @@ class RunConfig:
       (real threads over real bytes);
     * ``placement`` / ``compute`` / ``tuning`` / ``seed`` — the same specs
       :class:`~repro.config.ExperimentConfig` takes;
-    * ``faults`` — a :class:`~repro.resilience.FaultSpec` or its text form
-      (``"transient=0.1,seed=7"``); wraps every store in a
-      :class:`~repro.resilience.FaultInjector` (serial and runtime
-      modes). Simulate mode models the spec's ``latency``/``slow``
-      degradations as extra virtual transfer time (transient/permanent
-      read errors are retry mechanics the simulator does not model);
-    * ``retry`` — a :class:`~repro.resilience.RetryPolicy` for the data
-      path. Defaults to ``RetryPolicy()`` whenever faults are active so a
-      chaos run completes out of the box;
     * ``trace`` / ``metrics`` — observability hooks threaded through to
       whichever engine runs;
-    * ``cache_bytes`` — byte budget for a per-node
-      :class:`~repro.cache.ChunkCache`; ``0`` (the default) constructs no
-      cache machinery at all. Remote chunks are then paid for once per
-      node instead of once per pass;
-    * ``prefetch`` — overlap each slave's next fetch with its current
-      reduction (runtime mode only; serial and simulate ignore it);
     * ``slave_mode`` — the runtime's slave substrate: ``"thread"`` (the
       original in-process slaves, default) or ``"process"`` (decode +
       local reduction in worker processes fed over shared memory —
@@ -98,31 +148,42 @@ class RunConfig:
       each intermediate result (kmeans recenters, pagerank re-ranks), and
       stop early once consecutive results differ by at most ``converge``
       (max absolute difference for array results);
-    * ``sync_*`` — the global-reduction WAN levers
-      (:mod:`repro.core.sync`). ``sync_encoding``
-      (``dense``/``sparse``/``delta``/``auto``) and ``sync_compress``
-      (``none``/``zlib``/``lz4``) shrink each upload on the wire;
-      ``sync_topology`` (``star``/``tree``/``ring``) aggregates through
-      intermediate masters instead of all-to-head; ``sync_stream`` merges
-      slave partials every ``sync_watermark`` jobs instead of behind the
-      barrier. The defaults reproduce the paper's star/dense/barrier path
-      with zero new machinery. Runtime mode executes all of it; simulate
-      mode models topology and streaming, charging encoded uploads
-      ``sync_ratio`` of their dense bytes;
-    * ``monitor_interval`` — live run-health sampling every that many
-      seconds (:mod:`repro.obs.live`): pool depth, steal rate, cache
-      hit ratio, sync bytes, utilization, and a completion-rate ETA,
-      kept as a bounded ring of ``monitor_capacity``
-      :class:`~repro.obs.live.RunSample` on ``RunResult.samples``.
-      ``on_sample`` is called with each sample as it lands. Runtime
-      mode samples the live run on a wall-clock interval; simulate mode
-      reconstructs the identical sample stream from the trace on a
-      virtual-time interval (so it requires ``trace``); serial mode has
-      no cluster to watch and takes no samples. ``0.0`` (the default)
-      constructs no monitoring machinery at all.
+    * ``cache`` — a :class:`~repro.options.CacheOptions`: the per-node
+      :class:`~repro.cache.ChunkCache` byte budget and the prefetch
+      pipeline (runtime mode only for prefetch);
+    * ``sync`` — a :class:`~repro.options.SyncOptions`: the
+      global-reduction WAN levers (:mod:`repro.core.sync`) — wire
+      encoding/compression, aggregation topology, streaming partial
+      merges, and the simulator's encoded-bytes ratio. The defaults
+      reproduce the paper's star/dense/barrier path with zero machinery;
+    * ``monitor`` — a :class:`~repro.options.MonitorOptions`: live
+      run-health sampling (:mod:`repro.obs.live`) kept as a bounded ring
+      of :class:`~repro.obs.live.RunSample` on ``RunResult.samples``.
+      Runtime mode samples the live run; simulate mode reconstructs the
+      identical stream from the trace (so it requires ``trace``); serial
+      mode never samples;
+    * ``resilience`` — a :class:`~repro.options.ResilienceOptions`: fault
+      injection (wraps every store in a
+      :class:`~repro.resilience.FaultInjector`; simulate mode models
+      ``latency``/``slow`` as extra virtual transfer time), the data-path
+      :class:`~repro.resilience.RetryPolicy` (defaults to
+      ``RetryPolicy()`` whenever faults are active), and the runtime's
+      join deadline.
 
     ``app_params`` is forwarded to the application factory when the app is
     given as a registry key (e.g. ``{"k": 8}`` for knn).
+
+    Every pre-redesign flat kwarg (``cache_bytes``, ``prefetch``,
+    ``sync_*``, ``monitor_interval``, ``monitor_capacity``, ``on_sample``,
+    ``faults``, ``retry``, ``join_timeout``) still constructs, emitting a
+    ``DeprecationWarning``, and every flat attribute *read* stays
+    first-class and warning-free — ``config.cache_bytes`` mirrors
+    ``config.cache.bytes`` forever. Passing a nested spec together with a
+    *disagreeing* flat kwarg is a :class:`ConfigurationError`.
+
+    Construction validates each field; :meth:`validate` additionally
+    cross-checks the combination for knobs that silently do nothing
+    together (``service.submit`` runs it by default).
     """
 
     mode: str = "runtime"
@@ -133,39 +194,138 @@ class RunConfig:
     tuning: MiddlewareTuning = field(default_factory=MiddlewareTuning)
     seed: int = 2011
     name: str = "adhoc"
-    faults: FaultSpec | str | None = None
-    retry: RetryPolicy | None = None
-    join_timeout: float = 600.0
     trace: EventLog | None = None
     metrics: MetricsRegistry | None = None
     app_params: Mapping[str, Any] = field(default_factory=dict)
-    cache_bytes: int = 0
-    prefetch: bool = False
     slave_mode: str = "thread"
     iterations: int = 1
     converge: float | None = None
-    sync_encoding: str = "dense"
-    sync_compress: str = "none"
-    sync_topology: str = "star"
-    sync_stream: bool = False
-    sync_watermark: int = 8
-    sync_fanout: int = 2
-    sync_ratio: float = 1.0
-    monitor_interval: float = 0.0
-    monitor_capacity: int = 512
-    on_sample: Callable[[RunSample], None] | None = None
+    cache: CacheOptions = field(default_factory=CacheOptions)
+    sync: SyncOptions = field(default_factory=SyncOptions)
+    monitor: MonitorOptions = field(default_factory=MonitorOptions)
+    resilience: ResilienceOptions = field(default_factory=ResilienceOptions)
 
-    def __post_init__(self) -> None:
+    # Flat read-path mirrors of the nested specs. Excluded from init
+    # (the custom __init__ below reconciles flat kwargs into the nested
+    # specs first), from comparison and from repr — two configs are equal
+    # iff their core + nested fields are, and dataclasses.replace() only
+    # round-trips core + nested fields (replacing a mirror raises; replace
+    # the nested spec instead).
+    faults: FaultSpec | None = field(init=False, repr=False, compare=False)
+    retry: RetryPolicy | None = field(init=False, repr=False, compare=False)
+    join_timeout: float = field(init=False, repr=False, compare=False)
+    cache_bytes: int = field(init=False, repr=False, compare=False)
+    prefetch: bool = field(init=False, repr=False, compare=False)
+    sync_encoding: str = field(init=False, repr=False, compare=False)
+    sync_compress: str = field(init=False, repr=False, compare=False)
+    sync_topology: str = field(init=False, repr=False, compare=False)
+    sync_stream: bool = field(init=False, repr=False, compare=False)
+    sync_watermark: int = field(init=False, repr=False, compare=False)
+    sync_fanout: int = field(init=False, repr=False, compare=False)
+    sync_ratio: float = field(init=False, repr=False, compare=False)
+    monitor_interval: float = field(init=False, repr=False, compare=False)
+    monitor_capacity: int = field(init=False, repr=False, compare=False)
+    on_sample: Callable[[RunSample], None] | None = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __init__(
+        self,
+        mode: str = "runtime",
+        placement: PlacementSpec | None = None,
+        compute: ComputeSpec | None = None,
+        tuning: MiddlewareTuning | None = None,
+        seed: int = 2011,
+        name: str = "adhoc",
+        faults: Any = _UNSET,
+        retry: Any = _UNSET,
+        join_timeout: Any = _UNSET,
+        trace: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
+        app_params: Mapping[str, Any] | None = None,
+        cache_bytes: Any = _UNSET,
+        prefetch: Any = _UNSET,
+        slave_mode: str = "thread",
+        iterations: int = 1,
+        converge: float | None = None,
+        sync_encoding: Any = _UNSET,
+        sync_compress: Any = _UNSET,
+        sync_topology: Any = _UNSET,
+        sync_stream: Any = _UNSET,
+        sync_watermark: Any = _UNSET,
+        sync_fanout: Any = _UNSET,
+        sync_ratio: Any = _UNSET,
+        monitor_interval: Any = _UNSET,
+        monitor_capacity: Any = _UNSET,
+        on_sample: Any = _UNSET,
+        cache: CacheOptions | None = None,
+        sync: SyncOptions | None = None,
+        monitor: MonitorOptions | None = None,
+        resilience: ResilienceOptions | None = None,
+    ) -> None:
+        set_ = lambda k, v: object.__setattr__(self, k, v)  # noqa: E731
+        set_("mode", mode)
+        set_("placement", placement if placement is not None else PlacementSpec(0.5))
+        set_(
+            "compute",
+            compute
+            if compute is not None
+            else ComputeSpec(local_cores=2, cloud_cores=2),
+        )
+        set_("tuning", tuning if tuning is not None else MiddlewareTuning())
+        set_("seed", seed)
+        set_("name", name)
+        set_("trace", trace)
+        set_("metrics", metrics)
+        set_("app_params", app_params if app_params is not None else {})
+        set_("slave_mode", slave_mode)
+        set_("iterations", iterations)
+        set_("converge", converge)
+        flats = {
+            "cache": {"bytes": cache_bytes, "prefetch": prefetch},
+            "sync": {
+                "encoding": sync_encoding,
+                "compress": sync_compress,
+                "topology": sync_topology,
+                "stream": sync_stream,
+                "watermark": sync_watermark,
+                "fanout": sync_fanout,
+                "ratio": sync_ratio,
+            },
+            "monitor": {
+                "interval": monitor_interval,
+                "capacity": monitor_capacity,
+                "on_sample": on_sample,
+            },
+            "resilience": {
+                "faults": faults,
+                "retry": retry,
+                "join_timeout": join_timeout,
+            },
+        }
+        nested = {
+            "cache": cache,
+            "sync": sync,
+            "monitor": monitor,
+            "resilience": resilience,
+        }
+        for spec_name, cls in _OPTION_FAMILIES.items():
+            given = {
+                attr: value
+                for attr, value in flats[spec_name].items()
+                if value is not _UNSET
+            }
+            spec = _merge_options(spec_name, cls, nested[spec_name], given)
+            set_(spec_name, spec)
+            for attr, flat_name in cls.FLAT.items():
+                set_(flat_name, getattr(spec, attr))
+        self._check()
+
+    def _check(self) -> None:
         if self.mode not in MODES:
             raise ConfigurationError(
                 f"unknown run mode {self.mode!r}; expected one of {MODES}"
             )
-        if isinstance(self.faults, str):
-            object.__setattr__(self, "faults", FaultSpec.parse(self.faults))
-        if self.join_timeout <= 0:
-            raise ConfigurationError("join_timeout must be positive")
-        if self.cache_bytes < 0:
-            raise ConfigurationError("cache_bytes cannot be negative")
         if self.slave_mode not in SLAVE_MODES:
             raise ConfigurationError(
                 f"unknown slave_mode {self.slave_mode!r}; "
@@ -175,16 +335,8 @@ class RunConfig:
             raise ConfigurationError("iterations must be at least 1")
         if self.converge is not None and self.converge < 0:
             raise ConfigurationError("converge tolerance cannot be negative")
-        if self.monitor_interval < 0:
-            raise ConfigurationError("monitor_interval cannot be negative")
-        if self.monitor_capacity <= 0:
-            raise ConfigurationError("monitor_capacity must be positive")
-        if self.on_sample is not None and self.monitor_interval <= 0:
-            raise ConfigurationError(
-                "on_sample needs monitor_interval > 0 to ever be called"
-            )
         if (
-            self.monitor_interval > 0
+            self.monitor.enabled
             and self.mode == "simulate"
             and self.trace is None
         ):
@@ -192,34 +344,99 @@ class RunConfig:
                 "simulate-mode monitoring reconstructs samples from the "
                 "event log; pass trace=EventLog() alongside monitor_interval"
             )
-        # Build once to validate every sync knob (raises ConfigurationError
-        # on a bad value); the result is cheap to reconstruct on demand.
-        SyncSpec(
-            topology=self.sync_topology,
-            encoding=self.sync_encoding,
-            compress=self.sync_compress,
-            stream=self.sync_stream,
-            watermark=self.sync_watermark,
-            fanout=self.sync_fanout,
-            sim_ratio=self.sync_ratio,
-        )
+
+    def validate(self) -> "RunConfig":
+        """Cross-check the knob *combination*, failing fast and actionably.
+
+        Construction already rejects individually-invalid values (negative
+        budgets, unknown modes); this catches configurations where every
+        knob is legal but the combination silently does nothing or would
+        only fail deep inside an engine. :meth:`repro.service.JobService.submit`
+        calls it by default; :func:`run` stays permissive for back-compat.
+        Returns ``self`` so it chains: ``run(app, data, config.validate())``.
+        """
+        problems: list[str] = []
+        if self.cache.prefetch and self.mode != "runtime":
+            problems.append(
+                f"prefetch=True does nothing in {self.mode!r} mode — only the "
+                f"runtime overlaps fetch with reduction; drop it or use "
+                f"mode='runtime'"
+            )
+        if self.cache.prefetch and self.cache.bytes == 0:
+            problems.append(
+                "prefetch=True with cache_bytes=0 builds no cache to prefetch "
+                "into; set cache=CacheOptions(bytes=..., prefetch=True) or "
+                "drop prefetch"
+            )
+        if not self.sync.is_default and self.mode == "serial":
+            problems.append(
+                "sync_* knobs configure the distributed global reduction; "
+                "serial mode has no masters to aggregate through and ignores "
+                "them — drop the sync options or use mode='runtime'/'simulate'"
+            )
+        if self.sync.ratio != 1.0 and self.mode == "runtime":
+            problems.append(
+                "sync_ratio models encoded-upload bytes in the simulator "
+                "only; the runtime measures real encoded bytes — drop "
+                "sync_ratio or use mode='simulate'"
+            )
+        if (
+            self.sync.stream
+            and self.sync.topology == "star"
+            and self.sync.encoding == "dense"
+            and self.sync.compress == "none"
+        ):
+            problems.append(
+                "sync_stream=True with every other sync knob at the "
+                "star/dense defaults streams partials through the legacy "
+                "all-to-head trunk; pair it with sync=SyncOptions(stream=True,"
+                " topology='tree') or an encoding/compress choice, or drop it"
+            )
+        if self.monitor.enabled and self.mode == "serial":
+            problems.append(
+                "monitor_interval > 0 in serial mode takes no samples — "
+                "there is no cluster to watch; drop the monitor options or "
+                "use mode='runtime'/'simulate'"
+            )
+        if self.converge is not None and self.iterations == 1:
+            problems.append(
+                "converge is only checked between passes; iterations=1 never "
+                "checks it — raise iterations or drop converge"
+            )
+        if self.resilience.retry is not None and self.mode == "simulate":
+            problems.append(
+                "retry policies govern real read paths; the simulator models "
+                "latency/slow degradations but never retries — drop retry or "
+                "use mode='runtime'/'serial'"
+            )
+        if self.slave_mode == "process" and self.mode != "runtime":
+            problems.append(
+                f"slave_mode='process' selects the runtime's shared-memory "
+                f"substrate and does nothing in {self.mode!r} mode; drop it "
+                f"or use mode='runtime'"
+            )
+        if problems:
+            raise ConfigurationError(
+                "conflicting RunConfig knobs:\n  - " + "\n  - ".join(problems)
+            )
+        return self
 
     def make_cache(
         self, *, with_hooks: bool = True
     ) -> ChunkCache | None:
         """Build the configured chunk cache, or ``None`` when disabled."""
-        if self.cache_bytes <= 0:
+        if self.cache.bytes <= 0:
             return None
         if with_hooks:
             return ChunkCache(
-                self.cache_bytes, trace=self.trace, metrics=self.metrics
+                self.cache.bytes, trace=self.trace, metrics=self.metrics
             )
-        return ChunkCache(self.cache_bytes)
+        return ChunkCache(self.cache.bytes)
 
     @property
     def fault_spec(self) -> FaultSpec | None:
         """The parsed fault spec, or ``None`` when no faults are configured."""
-        spec = self.faults
+        spec = self.resilience.faults
         if spec is None or not spec.active:
             return None
         return spec
@@ -228,23 +445,15 @@ class RunConfig:
     def sync_spec(self) -> SyncSpec | None:
         """The configured sync plan, or ``None`` when every knob is at the
         legacy star/dense/barrier default (no sync machinery is built)."""
-        spec = SyncSpec(
-            topology=self.sync_topology,
-            encoding=self.sync_encoding,
-            compress=self.sync_compress,
-            stream=self.sync_stream,
-            watermark=self.sync_watermark,
-            fanout=self.sync_fanout,
-            sim_ratio=self.sync_ratio,
-        )
+        spec = self.sync.to_spec()
         return None if spec.is_default else spec
 
     @property
     def effective_retry(self) -> RetryPolicy | None:
         """The retry policy actually applied: the configured one, or the
         default policy when faults are active and none was given."""
-        if self.retry is not None:
-            return self.retry
+        if self.resilience.retry is not None:
+            return self.resilience.retry
         if self.fault_spec is not None:
             return RetryPolicy()
         return None
@@ -547,6 +756,23 @@ _ENGINES = {
 }
 
 
+def run_direct(
+    app: str | AppBundle,
+    dataset: DatasetSpec,
+    config: RunConfig | None = None,
+) -> RunResult:
+    """Execute ``app`` over ``dataset`` on the caller's thread, no service.
+
+    This is the pre-service dispatch: pick the engine ``config.mode``
+    names and run it, nothing else. :func:`run` routes through a
+    single-use :class:`~repro.service.JobService` and is pinned
+    equivalent; the service's own workers execute submissions through
+    this function.
+    """
+    config = config or RunConfig()
+    return _ENGINES[config.mode](app, dataset, config)
+
+
 def run(
     app: str | AppBundle,
     dataset: DatasetSpec,
@@ -559,6 +785,17 @@ def run(
     shape; serial and runtime modes materialize it into in-memory stores
     (deterministically from ``config.seed``), simulate mode only models
     it. With no config, a 50/50 placement runtime run on 2+2 cores.
+
+    Since the service redesign this is sugar for ``submit(...).result()``
+    on a single-use inline :class:`~repro.service.JobService` — one front
+    door, one admission path, whether you run one job or a thousand.
+    ``validate=False`` on the submission keeps the legacy permissiveness
+    (knobs other modes ignore stay ignored rather than failing fast);
+    call ``config.validate()`` yourself or use a real service for the
+    strict path.
     """
-    config = config or RunConfig()
-    return _ENGINES[config.mode](app, dataset, config)
+    from .service import JobService  # local import: service imports facade
+
+    with JobService(workers=0) as service:
+        handle = service.submit(app, dataset, config, validate=False)
+        return handle.result()

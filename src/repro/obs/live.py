@@ -15,7 +15,8 @@ on an interval while the run executes. This module is that signal bus:
   sample stream post-hoc from the event log, so both substrates feed
   identical ``RunSample`` vocabularies to the same consumers.
 
-Enable via ``RunConfig(monitor_interval=0.5, on_sample=...)`` or drive
+Enable via ``RunConfig(monitor=MonitorOptions(interval=0.5,
+on_sample=...))`` or drive
 interactively with the ``repro watch`` CLI. Disabled (the default) the
 runtime constructs none of this machinery.
 """

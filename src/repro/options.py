@@ -1,0 +1,183 @@
+"""Structured option families for :class:`repro.RunConfig`.
+
+``RunConfig`` grew past twenty flat knobs. This module groups them into
+four coherent, individually-validated spec dataclasses:
+
+* :class:`CacheOptions` — the chunk cache + prefetch pipeline
+  (``cache_bytes``/``prefetch``);
+* :class:`SyncOptions` — the global-reduction WAN levers
+  (``sync_encoding``/``sync_compress``/``sync_topology``/``sync_stream``/
+  ``sync_watermark``/``sync_fanout``/``sync_ratio``);
+* :class:`MonitorOptions` — live run-health sampling
+  (``monitor_interval``/``monitor_capacity``/``on_sample``);
+* :class:`ResilienceOptions` — fault injection, retry policy and the
+  join deadline (``faults``/``retry``/``join_timeout``).
+
+New code writes::
+
+    RunConfig(
+        cache=CacheOptions(bytes=1 << 26, prefetch=True),
+        sync=SyncOptions(encoding="delta", compress="zlib", topology="tree"),
+        monitor=MonitorOptions(interval=0.5, on_sample=print),
+        resilience=ResilienceOptions(faults="transient=0.1,seed=7"),
+    )
+
+Every legacy flat kwarg keeps working through back-compat shims on
+``RunConfig`` that emit :class:`DeprecationWarning`; flat and nested
+construction are pinned equivalent in ``tests/test_options.py``. The
+flat attribute *reads* (``config.cache_bytes`` and friends) remain
+first-class and never warn — only flat construction is deprecated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .core.sync import SyncSpec
+from .errors import ConfigurationError
+from .resilience.faults import FaultSpec
+from .resilience.retry import RetryPolicy
+
+__all__ = [
+    "CacheOptions",
+    "SyncOptions",
+    "MonitorOptions",
+    "ResilienceOptions",
+]
+
+
+@dataclass(frozen=True)
+class CacheOptions:
+    """Chunk-cache + prefetch configuration.
+
+    ``bytes`` is the byte budget for the per-node
+    :class:`~repro.cache.ChunkCache` (``0`` builds no cache machinery);
+    ``prefetch`` overlaps each slave's next fetch with its current
+    reduction (runtime mode only).
+    """
+
+    bytes: int = 0
+    prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ConfigurationError("cache_bytes cannot be negative")
+
+    #: nested attribute -> legacy flat RunConfig kwarg.
+    FLAT = {"bytes": "cache_bytes", "prefetch": "prefetch"}
+
+
+@dataclass(frozen=True)
+class SyncOptions:
+    """Global-reduction sync configuration (:mod:`repro.core.sync`).
+
+    The attribute names mirror the legacy flat knobs without their
+    ``sync_`` prefix; :meth:`to_spec` converts to the
+    :class:`~repro.core.sync.SyncSpec` both substrates execute. The
+    defaults reproduce the paper's star/dense/barrier path with zero
+    sync machinery.
+    """
+
+    encoding: str = "dense"
+    compress: str = "none"
+    topology: str = "star"
+    stream: bool = False
+    watermark: int = 8
+    fanout: int = 2
+    ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Building the spec validates every knob with the same messages
+        # the runtime would raise; the result is cheap to rebuild.
+        self.to_spec()
+
+    def to_spec(self) -> SyncSpec:
+        return SyncSpec(
+            topology=self.topology,
+            encoding=self.encoding,
+            compress=self.compress,
+            stream=self.stream,
+            watermark=self.watermark,
+            fanout=self.fanout,
+            sim_ratio=self.ratio,
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """True when the legacy zero-machinery path would run."""
+        return self.to_spec().is_default
+
+    FLAT = {
+        "encoding": "sync_encoding",
+        "compress": "sync_compress",
+        "topology": "sync_topology",
+        "stream": "sync_stream",
+        "watermark": "sync_watermark",
+        "fanout": "sync_fanout",
+        "ratio": "sync_ratio",
+    }
+
+
+@dataclass(frozen=True)
+class MonitorOptions:
+    """Live run-health sampling (:mod:`repro.obs.live`).
+
+    ``interval`` seconds between :class:`~repro.obs.live.RunSample`
+    snapshots (``0.0`` builds no monitoring machinery), ``capacity``
+    bounds the retained sample ring, ``on_sample`` is called with every
+    sample as it lands.
+    """
+
+    interval: float = 0.0
+    capacity: int = 512
+    on_sample: Callable[[Any], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise ConfigurationError("monitor_interval cannot be negative")
+        if self.capacity <= 0:
+            raise ConfigurationError("monitor_capacity must be positive")
+        if self.on_sample is not None and self.interval <= 0:
+            raise ConfigurationError(
+                "on_sample needs monitor_interval > 0 to ever be called"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval > 0
+
+    FLAT = {
+        "interval": "monitor_interval",
+        "capacity": "monitor_capacity",
+        "on_sample": "on_sample",
+    }
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """Fault injection, retry policy, and the run join deadline.
+
+    ``faults`` accepts a :class:`~repro.resilience.FaultSpec` or its
+    text form (``"transient=0.1,seed=7"``) and is normalized to the
+    parsed spec. ``retry`` defaults to ``RetryPolicy()`` whenever faults
+    are active and none was given (see
+    :attr:`repro.RunConfig.effective_retry`). ``join_timeout`` bounds
+    every head/master/slave join in the threaded runtime.
+    """
+
+    faults: FaultSpec | str | None = None
+    retry: RetryPolicy | None = None
+    join_timeout: float = 600.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultSpec.parse(self.faults))
+        if self.join_timeout <= 0:
+            raise ConfigurationError("join_timeout must be positive")
+
+    FLAT = {
+        "faults": "faults",
+        "retry": "retry",
+        "join_timeout": "join_timeout",
+    }

@@ -1,0 +1,109 @@
+"""Durable service state: a tiny JSON journal on disk.
+
+A :class:`~repro.service.JobService` given ``journal="path.json"``
+persists every run transition, which buys two things:
+
+* ``repro status`` from *another process* can report the service's runs
+  without any RPC machinery — it just reads the file;
+* ``repro cancel RUN_ID`` from another process appends the id to the
+  journal's ``cancel_requests`` list, and the service honors it at
+  dispatch time (a queued run whose id shows up there is cancelled
+  instead of started — in-flight runs are never preempted, matching
+  :meth:`RunHandle.cancel` semantics).
+
+Writes are atomic (temp file + ``os.replace``) so a reader never sees a
+torn file. The journal is a cooperation mechanism, not a database: last
+writer wins on ``runs``, and cancel requests are merged (union) on every
+write so a concurrent ``repro cancel`` is never lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Mapping
+
+from ..errors import ServiceError
+
+__all__ = ["ServiceJournal"]
+
+
+class ServiceJournal:
+    """Atomic read/write access to one service's JSON state file."""
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ServiceError("journal path cannot be empty")
+        self.path = path
+
+    # -- reading -----------------------------------------------------------
+
+    def read(self) -> dict[str, Any]:
+        """The journal's current contents (``{}`` when absent/empty)."""
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"journal {self.path!r} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ServiceError(
+                f"journal {self.path!r} must hold a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        return data
+
+    def runs(self) -> dict[str, Any]:
+        return dict(self.read().get("runs", {}))
+
+    def cancel_requests(self) -> set[str]:
+        return set(self.read().get("cancel_requests", []))
+
+    def is_cancel_requested(self, run_id: str) -> bool:
+        return run_id in self.cancel_requests()
+
+    # -- writing -----------------------------------------------------------
+
+    def record(self, runs: Mapping[str, Any]) -> None:
+        """Persist the service's run table, keeping outstanding cancels.
+
+        Cancel requests already satisfied (their run is terminal in
+        ``runs``) are dropped; unknown or still-pending ids survive the
+        write so a cancel filed moments before dispatch is honored.
+        """
+        terminal = {"done", "failed", "cancelled"}
+        keep = sorted(
+            run_id
+            for run_id in self.cancel_requests()
+            if runs.get(run_id, {}).get("state") not in terminal
+        )
+        self._write({"runs": dict(runs), "cancel_requests": keep})
+
+    def request_cancel(self, run_id: str) -> None:
+        """File a cross-process cancel request for ``run_id``."""
+        data = self.read()
+        requests = set(data.get("cancel_requests", []))
+        requests.add(run_id)
+        data["cancel_requests"] = sorted(requests)
+        data.setdefault("runs", {})
+        self._write(data)
+
+    def _write(self, data: Mapping[str, Any]) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".journal-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, indent=2, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

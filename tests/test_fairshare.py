@@ -1,0 +1,120 @@
+"""FairShareQueue: stride fairness, priorities, discard, eligibility."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.jobpool import FairShareQueue
+from repro.errors import SchedulingError
+
+
+def drain(queue: FairShareQueue, count: int | None = None) -> list[str]:
+    """Dispatch until empty (or ``count`` items), returning tenant order."""
+    order = []
+    while count is None or len(order) < count:
+        picked = queue.take()
+        if picked is None:
+            break
+        order.append(picked[0])
+    return order
+
+
+def test_weighted_split_is_exact_while_all_backlogged():
+    queue = FairShareQueue()
+    queue.register("a", 4)
+    queue.register("b", 2)
+    queue.register("c", 1)
+    for i in range(40):
+        for tenant in "abc":
+            queue.push(tenant, f"{tenant}{i}")
+    counts = Counter(drain(queue, count=70))
+    assert counts == {"a": 40, "b": 20, "c": 10}
+
+
+def test_equal_weights_round_robin():
+    queue = FairShareQueue()
+    queue.register("x")
+    queue.register("y")
+    for i in range(6):
+        queue.push("x", i)
+        queue.push("y", i)
+    order = drain(queue)
+    # Never two consecutive dispatches to the same tenant while both wait.
+    assert all(a != b for a, b in zip(order, order[1:]))
+
+
+def test_priority_orders_within_tenant_fifo_on_ties():
+    queue = FairShareQueue()
+    queue.register("t")
+    queue.push("t", "low", priority=0)
+    queue.push("t", "first-high", priority=9)
+    queue.push("t", "mid", priority=5)
+    queue.push("t", "second-high", priority=9)
+    items = [queue.take()[1] for _ in range(4)]
+    assert items == ["first-high", "second-high", "mid", "low"]
+
+
+def test_discard_skips_entry_and_backlog_reflects_it():
+    queue = FairShareQueue()
+    queue.register("t")
+    queue.push("t", "keep1")
+    token = queue.push("t", "dropme", priority=10)
+    queue.push("t", "keep2")
+    assert queue.backlog("t") == 3
+    queue.discard(token)
+    assert queue.backlog("t") == 2
+    assert len(queue) == 2
+    assert [queue.take()[1] for _ in range(2)] == ["keep1", "keep2"]
+    assert queue.take() is None
+
+
+def test_eligibility_veto_defers_without_burning_share():
+    queue = FairShareQueue()
+    queue.register("big", 10)
+    queue.register("small", 1)
+    for i in range(4):
+        queue.push("big", f"b{i}")
+        queue.push("small", f"s{i}")
+    # Veto 'big' entirely: 'small' serves, big's stride state untouched.
+    assert queue.take(eligible=lambda t: t == "small")[0] == "small"
+    # Veto lifted: big still has its full weight advantage.
+    order = [queue.take()[0] for _ in range(4)]
+    assert order.count("big") >= 3
+
+
+def test_idle_tenant_does_not_bank_credit():
+    queue = FairShareQueue()
+    queue.register("steady", 1)
+    queue.register("bursty", 1)
+    for i in range(20):
+        queue.push("steady", i)
+    for _ in range(10):
+        assert queue.take()[0] == "steady"
+    # 'bursty' was idle for 10 dispatches; on arrival it must share 50/50,
+    # not receive 10 consecutive dispatches of "owed" credit.
+    for i in range(20):
+        queue.push("bursty", i)
+    window = [queue.take()[0] for _ in range(10)]
+    assert Counter(window) == {"steady": 5, "bursty": 5}
+
+
+def test_unregistered_tenant_and_bad_weight_rejected():
+    queue = FairShareQueue()
+    with pytest.raises(SchedulingError, match="never registered"):
+        queue.push("ghost", 1)
+    with pytest.raises(SchedulingError, match="weight must be positive"):
+        queue.register("t", 0)
+
+
+def test_empty_queue_take_returns_none_and_counters_track():
+    queue = FairShareQueue()
+    queue.register("t", 2)
+    assert queue.take() is None
+    queue.push("t", "x")
+    queue.take()
+    assert queue.pushed == {"t": 1}
+    assert queue.dispatched == {"t": 1}
+    assert queue.weight_of("t") == 2
+    assert queue.tenants == ("t",)
