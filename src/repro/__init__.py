@@ -59,6 +59,7 @@ from .options import (
     CacheOptions,
     MonitorOptions,
     ResilienceOptions,
+    ScaleOptions,
     SyncOptions,
 )
 from .resilience import (
@@ -68,6 +69,7 @@ from .resilience import (
     RetryPolicy,
 )
 from .runtime import CloudBurstingRuntime, run_centralized, run_iterative
+from .scale import Autoscaler, RevocationSpec, ScaleDecision
 from .service import JobService, RunHandle, RunState, RunStatus, TenantSpec
 from .sim import PAPER_CALIBRATION, SimCalibration, SimReport, simulate
 
@@ -108,6 +110,10 @@ __all__ = [
     "SyncOptions",
     "MonitorOptions",
     "ResilienceOptions",
+    "ScaleOptions",
+    "Autoscaler",
+    "ScaleDecision",
+    "RevocationSpec",
     "JobService",
     "TenantSpec",
     "RunHandle",

@@ -124,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sync_args(p)
     _add_fault_args(p)
+    _add_scale_args(p)
 
     p = sub.add_parser(
         "trace",
@@ -176,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sampling interval for the health feed")
     p.add_argument("--iterations", type=int, default=1, metavar="N",
                    help="run N passes (iterative apps only)")
+    _add_scale_args(p)
 
     p = sub.add_parser(
         "submit",
@@ -273,6 +275,59 @@ def _add_sync_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--sync-watermark", type=int, default=8, metavar="N",
         help="with --sync-stream, slaves flush a partial every N jobs",
+    )
+
+
+def _add_scale_args(p: argparse.ArgumentParser) -> None:
+    """Elastic-bursting knobs shared by commands that execute the runtime."""
+    p.add_argument(
+        "--autoscale", action="store_true",
+        help="grow/shrink the cloud slave fleet mid-run to hit --deadline "
+        "and --budget (see docs/SCALING.md)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="with --autoscale, target wall-clock deadline the controller "
+        "scales toward",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None, metavar="DOLLARS",
+        help="with --autoscale, hard cloud-spend ceiling the controller "
+        "never exceeds",
+    )
+    p.add_argument(
+        "--min-slaves", type=int, default=1, metavar="N",
+        help="autoscaler floor for the cloud fleet (default 1)",
+    )
+    p.add_argument(
+        "--max-slaves", type=int, default=8, metavar="N",
+        help="autoscaler ceiling for the cloud fleet (default 8)",
+    )
+    p.add_argument(
+        "--revoke", metavar="SPEC",
+        help="spot-revocation spec for cloud slaves, e.g. "
+        "'rate=0.05,seed=7,provision=0.1' (results stay bit-identical; "
+        "see docs/SCALING.md for the grammar)",
+    )
+
+
+def _resolve_scale(args: argparse.Namespace):
+    """Map the shared scaling flags to ``ScaleOptions | None``."""
+    from .options import ScaleOptions
+
+    if not args.autoscale and not args.revoke:
+        if args.deadline is not None or args.budget is not None:
+            raise ConfigurationError(
+                "--deadline/--budget are autoscaler targets; add --autoscale"
+            )
+        return None
+    return ScaleOptions(
+        autoscale=args.autoscale,
+        deadline=args.deadline,
+        budget=args.budget,
+        min_slaves=args.min_slaves,
+        max_slaves=args.max_slaves,
+        revocation=args.revoke,
     )
 
 
@@ -483,6 +538,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         stream=args.sync_stream,
         watermark=args.sync_watermark,
     )
+    scale = _resolve_scale(args)
     runtime = CloudBurstingRuntime(
         bundle.app, index, stores,
         ComputeSpec(local_cores=args.local_cores, cloud_cores=args.cloud_cores),
@@ -491,6 +547,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         prefetch=args.prefetch,
         sync=sync,
         slave_mode=args.slave_mode,
+        scale=scale,
     )
     if args.iterations > 1 and not hasattr(bundle.app, "update"):
         raise ConfigurationError(
@@ -501,6 +558,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
     prefetches = 0
     sync_sent = sync_saved = sync_partials = 0
     zero_copy = copied = 0
+    added = revoked = 0
+    dollars = 0.0
     for i in range(args.iterations):
         result = runtime.run()
         wall += result.telemetry.wall_seconds
@@ -510,6 +569,9 @@ def _cmd_run(args: argparse.Namespace) -> None:
         sync_partials += result.telemetry.sync_partial_merges
         zero_copy += result.telemetry.zero_copy_reads
         copied += result.telemetry.bytes_copied
+        added += result.telemetry.slaves_added
+        revoked += result.telemetry.slaves_revoked
+        dollars += result.telemetry.dollars_spent
         if args.iterations > 1:
             bundle.app.update(result.value)  # same contract as run_iterative
     value = result.value
@@ -559,6 +621,17 @@ def _cmd_run(args: argparse.Namespace) -> None:
             f"{t.retries} retries, {t.hedges} hedges "
             f"({t.hedge_wins} won), {t.timeouts} timeouts, "
             f"{t.circuit_opens} circuit opens"
+        )
+    if scale is not None:
+        targets = []
+        if args.deadline is not None:
+            targets.append(f"deadline {args.deadline}s")
+        if args.budget is not None:
+            targets.append(f"budget ${args.budget:.2f}")
+        label = f" ({', '.join(targets)})" if targets else ""
+        print(
+            f"scaling{label}: {added} slaves added, {revoked} revoked, "
+            f"${dollars:.4f} cloud spend"
         )
 
 
@@ -671,6 +744,7 @@ def _sample_line(sample) -> str:
         f"{sample.time:7.2f}s  {sample.progress * 100:5.1f}%  "
         f"{sample.jobs_done:>5}/{sample.jobs_total:<5}  "
         f"pool {sample.pool_depth:>4}  run {sample.in_flight:>3}  "
+        f"wkr {sample.workers:>3}  "
         f"steal {sample.steals:>3}  util {sample.utilization * 100:5.1f}%  "
         f"cache {sample.cache_hit_ratio * 100:5.1f}%  eta {eta}"
     )
@@ -701,7 +775,8 @@ def _cmd_watch(args: argparse.Namespace) -> None:
           f"{args.local_cores}+{args.cloud_cores} cores, "
           f"sampling every {args.interval}s)")
     print(f"{'time':>8}  {'prog':>5}  {'done':>11}  pool       run  "
-          f"steal      util         cache        eta")
+          f"wkr      steal      util         cache        eta")
+    scale = _resolve_scale(args)
     config = RunConfig(
         mode="runtime",
         placement=PlacementSpec(args.local_fraction),
@@ -714,12 +789,17 @@ def _cmd_watch(args: argparse.Namespace) -> None:
             interval=args.interval,
             on_sample=lambda sample: print(_sample_line(sample), flush=True),
         ),
+        **({"scale": scale} if scale is not None else {}),
     )
     result = run_app(bundle, spec, config)
     t = result.telemetry
     print(f"\ndone: wall {t.wall_seconds:.3f}s, {t.total_jobs} jobs "
           f"({t.total_stolen} stolen), {len(result.samples)} samples"
           + (f", {result.passes} passes" if result.passes > 1 else ""))
+    if scale is not None:
+        print(f"scaling: {t.slaves_added} slaves added, "
+              f"{t.slaves_revoked} revoked, "
+              f"${t.dollars_spent:.4f} cloud spend")
 
 
 def _submit_dataset(args: argparse.Namespace, record_bytes: int):

@@ -59,7 +59,13 @@ from .errors import ConfigurationError
 from .obs.events import EventLog
 from .obs.live import RunMonitor, RunSample, samples_from_log
 from .obs.metrics import MetricsRegistry
-from .options import CacheOptions, MonitorOptions, ResilienceOptions, SyncOptions
+from .options import (
+    CacheOptions,
+    MonitorOptions,
+    ResilienceOptions,
+    ScaleOptions,
+    SyncOptions,
+)
 from .resilience.faults import FaultInjector, FaultSpec
 from .resilience.retry import RetryPolicy
 from .runtime.driver import SLAVE_MODES, CloudBurstingRuntime, RuntimeResult
@@ -90,6 +96,7 @@ _OPTION_FAMILIES = {
     "sync": SyncOptions,
     "monitor": MonitorOptions,
     "resilience": ResilienceOptions,
+    "scale": ScaleOptions,
 }
 
 
@@ -168,7 +175,13 @@ class RunConfig:
       ``latency``/``slow`` as extra virtual transfer time), the data-path
       :class:`~repro.resilience.RetryPolicy` (defaults to
       ``RetryPolicy()`` whenever faults are active), and the runtime's
-      join deadline.
+      join deadline;
+    * ``scale`` — a :class:`~repro.options.ScaleOptions`: elastic cloud
+      bursting (:mod:`repro.scale`) — the deadline/budget autoscaler
+      that grows and shrinks the cloud fleet mid-run, and the seeded
+      spot-revocation model. Runtime mode attaches/retires real slave
+      threads; simulate mode models the same controller with provision
+      latency in virtual time; results stay bit-identical either way.
 
     ``app_params`` is forwarded to the application factory when the app is
     given as a registry key (e.g. ``{"k": 8}`` for knn).
@@ -204,6 +217,7 @@ class RunConfig:
     sync: SyncOptions = field(default_factory=SyncOptions)
     monitor: MonitorOptions = field(default_factory=MonitorOptions)
     resilience: ResilienceOptions = field(default_factory=ResilienceOptions)
+    scale: ScaleOptions = field(default_factory=ScaleOptions)
 
     # Flat read-path mirrors of the nested specs. Excluded from init
     # (the custom __init__ below reconciles flat kwargs into the nested
@@ -262,6 +276,7 @@ class RunConfig:
         sync: SyncOptions | None = None,
         monitor: MonitorOptions | None = None,
         resilience: ResilienceOptions | None = None,
+        scale: ScaleOptions | None = None,
     ) -> None:
         set_ = lambda k, v: object.__setattr__(self, k, v)  # noqa: E731
         set_("mode", mode)
@@ -302,12 +317,15 @@ class RunConfig:
                 "retry": retry,
                 "join_timeout": join_timeout,
             },
+            # ScaleOptions postdates the flat-kwarg era: nested-only.
+            "scale": {},
         }
         nested = {
             "cache": cache,
             "sync": sync,
             "monitor": monitor,
             "resilience": resilience,
+            "scale": scale,
         }
         for spec_name, cls in _OPTION_FAMILIES.items():
             given = {
@@ -414,6 +432,26 @@ class RunConfig:
                 f"slave_mode='process' selects the runtime's shared-memory "
                 f"substrate and does nothing in {self.mode!r} mode; drop it "
                 f"or use mode='runtime'"
+            )
+        if self.scale.enabled and self.mode == "serial":
+            problems.append(
+                "autoscale/revocation manage a cloud slave fleet; serial "
+                "mode has no slaves — drop scale=ScaleOptions(...) or use "
+                "mode='runtime'/'simulate'"
+            )
+        if self.scale.enabled and self.compute.cloud_cores < 1:
+            problems.append(
+                "autoscale/revocation act on the cloud cluster, but "
+                "compute.cloud_cores=0 builds none; give the cloud at least "
+                "one core or drop the scale options"
+            )
+        if (
+            self.scale.deadline is not None or self.scale.budget is not None
+        ) and not self.scale.autoscale:
+            problems.append(
+                "deadline/budget are autoscaler targets; set "
+                "scale=ScaleOptions(autoscale=True, ...) for them to steer "
+                "anything"
             )
         if problems:
             raise ConfigurationError(
@@ -652,17 +690,26 @@ def _run_simulate(
         cache=cache,
         sync=config.sync_spec,
         faults=config.fault_spec,
+        scale=config.scale,
     )
+    added = revoked = 0
+    dollars = 0.0
     for _ in range(config.iterations):
         report = sim.run()
         total_makespan += report.makespan
         hits += report.cache_hits
         misses += report.cache_misses
         faults += report.faults_injected
+        added += report.slaves_added
+        revoked += report.slaves_revoked
+        dollars += report.dollars_spent
     assert report is not None
     report.cache_hits = hits
     report.cache_misses = misses
     report.faults_injected = faults
+    report.slaves_added = added
+    report.slaves_revoked = revoked
+    report.dollars_spent = dollars
     samples: list[RunSample] = []
     if config.monitor_interval > 0 and config.trace is not None:
         # Virtual time: "live" sampling is a post-hoc replay of the trace.
@@ -708,6 +755,7 @@ def _run_runtime(
         sync=config.sync_spec,
         monitor=monitor,
         slave_mode=config.slave_mode,
+        scale=config.scale,
     )
     iterating = config.iterations > 1
     update = _update_hook(bundle, config) if iterating else (lambda value: None)
@@ -720,6 +768,7 @@ def _run_runtime(
         "cache_hits", "cache_misses", "cache_evictions", "bytes_saved",
         "prefetches", "sync_uploads", "sync_bytes_sent", "sync_bytes_saved",
         "sync_partial_merges", "zero_copy_reads", "bytes_copied",
+        "slaves_added", "slaves_revoked", "dollars_spent",
     )
     totals = {name: 0 for name in _ADDITIVE}
     total_wall = 0.0

@@ -70,6 +70,10 @@ RUNTIME_KINDS = (
     "sync_upload",  # a master shipped its (tree/ring) contribution upward
     "sync_merge",  # an aggregation point folded in an arriving upload
     "data_path",  # end-of-run zero-copy digest (reads served as views)
+    "scale_up",  # the autoscaler added cloud slaves mid-run
+    "scale_down",  # the autoscaler released cloud slaves mid-run
+    "provision",  # a scale-up finished its provisioning delay
+    "revocation",  # a spot instance vanished; recovery will re-execute
 )
 
 #: Kinds produced post-hoc by the analysis layer (never by a node).

@@ -97,6 +97,10 @@ _FAMILY_TRACKS = {
     "cache_miss": "cache",
     "cache_evict": "cache",
     "remote_fetch": "storage",
+    "scale_up": "scaling",
+    "scale_down": "scaling",
+    "provision": "scaling",
+    "revocation": "scaling",
 }
 
 _US = 1e6  # trace_event timestamps are microseconds
@@ -296,6 +300,28 @@ def render_report(
         lines.append("data path:")
         for event in data_path:
             lines.append(f"  {event.detail}")
+
+    # Elastic-bursting timeline: every autoscaler decision, provisioned
+    # slave, retirement, and spot revocation, in time order.
+    scaling = [
+        e
+        for kind in ("scale_up", "scale_down", "provision", "revocation")
+        for e in log.of_kind(kind)
+    ]
+    if scaling:
+        scaling.sort(key=lambda e: e.time)
+        added = sum(1 for e in scaling if e.kind == "provision")
+        revoked = sum(1 for e in scaling if e.kind == "revocation")
+        lines.append("")
+        lines.append(
+            f"scaling timeline ({added} slaves added, {revoked} revoked):"
+        )
+        for event in scaling:
+            who = f" w{event.worker:03d}" if event.worker >= 0 else ""
+            detail = f"  {event.detail}" if event.detail else ""
+            lines.append(
+                f"  {event.time:9.3f}s  {event.kind:<10}{who}{detail}"
+            )
 
     # Span sections are best-effort: a partial or hand-built trace that
     # cannot be paired into job cycles keeps its Gantt/utilization report.

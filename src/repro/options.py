@@ -38,12 +38,14 @@ from .core.sync import SyncSpec
 from .errors import ConfigurationError
 from .resilience.faults import FaultSpec
 from .resilience.retry import RetryPolicy
+from .scale.revocation import RevocationSpec
 
 __all__ = [
     "CacheOptions",
     "SyncOptions",
     "MonitorOptions",
     "ResilienceOptions",
+    "ScaleOptions",
 ]
 
 
@@ -181,3 +183,67 @@ class ResilienceOptions:
         "retry": "retry",
         "join_timeout": "join_timeout",
     }
+
+
+@dataclass(frozen=True)
+class ScaleOptions:
+    """Elastic cloud bursting (:mod:`repro.scale`).
+
+    ``autoscale`` turns the controller on; ``deadline`` (seconds of run
+    time) and ``budget`` (dollars) are the targets it steers toward, and
+    the cloud fleet stays inside ``[min_slaves, max_slaves]``. ``interval``
+    is how often the controller observes (it drives an internal
+    :class:`~repro.obs.live.RunMonitor` when none is configured);
+    ``damping`` suppresses direction reversals inside its window.
+    ``revocation`` accepts a :class:`~repro.scale.RevocationSpec` or its
+    text form (``"rate=0.05,seed=7,provision=30"``) and is normalized to
+    the parsed spec; revocation works with or without ``autoscale``.
+    ``dollars_per_slave_hour`` defaults to the paper-era EC2 large
+    instance price per core (:data:`repro.bench.cost.AWS_2011`).
+    """
+
+    autoscale: bool = False
+    deadline: float | None = None
+    budget: float | None = None
+    min_slaves: int = 1
+    max_slaves: int = 8
+    interval: float = 0.2
+    damping: float = 1.0
+    revocation: RevocationSpec | str | None = None
+    dollars_per_slave_hour: float = 0.17
+
+    def __post_init__(self) -> None:
+        if isinstance(self.revocation, str):
+            object.__setattr__(
+                self, "revocation", RevocationSpec.parse(self.revocation)
+            )
+        if self.min_slaves < 1:
+            raise ConfigurationError("min_slaves must be >= 1")
+        if self.max_slaves < self.min_slaves:
+            raise ConfigurationError("max_slaves must be >= min_slaves")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("deadline must be positive")
+        if self.budget is not None and self.budget <= 0:
+            raise ConfigurationError("budget must be positive")
+        if self.interval <= 0:
+            raise ConfigurationError("scale interval must be positive")
+        if self.damping < 0:
+            raise ConfigurationError("damping cannot be negative")
+        if self.dollars_per_slave_hour < 0:
+            raise ConfigurationError("dollars_per_slave_hour cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the run needs any scaling machinery at all."""
+        return self.autoscale or self.revocation_spec is not None
+
+    @property
+    def revocation_spec(self) -> RevocationSpec | None:
+        """The parsed revocation spec, or ``None`` when inactive."""
+        spec = self.revocation
+        if isinstance(spec, RevocationSpec) and spec.active:
+            return spec
+        return None
+
+    #: No legacy flat kwargs: ScaleOptions postdates the flat era.
+    FLAT = {}

@@ -13,6 +13,7 @@ runtime and feeding each result back through the app's ``update`` hook.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
@@ -20,7 +21,7 @@ from typing import Any, Callable, Mapping
 import numpy as np
 
 from ..cache import ChunkCache
-from ..config import ComputeSpec, MiddlewareTuning
+from ..config import CLOUD_SITE, ComputeSpec, MiddlewareTuning
 from ..core.api import GeneralizedReductionApp
 from ..core.index import DataIndex
 from ..core.reduction import from_bytes
@@ -32,12 +33,15 @@ from ..obs.events import EventLog
 from ..obs.live import RunMonitor
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import span_summary
+from ..options import ScaleOptions
 from ..resilience.faults import FaultInjector
 from ..resilience.retry import RetryPolicy
+from ..scale import Autoscaler, SpotRevoker
 from ..storage.base import StorageService
 from ..core.shmem import ShmemStrategy
 from .head import HeadNode, HeadSync
 from .master import MasterNode, MasterSync
+from .messages import SlaveAttach, SlaveDetach
 from .procpool import ProcessSlavePool
 from .slave import SlaveWorker
 from .telemetry import ClusterTelemetry, RunTelemetry
@@ -78,6 +82,7 @@ class CloudBurstingRuntime:
         prefetch: bool = False,
         sync: SyncSpec | None = None,
         monitor: RunMonitor | None = None,
+        scale: ScaleOptions | None = None,
         slave_mode: str = "thread",
         process_strategy: ShmemStrategy | str = ShmemStrategy.FULL_REPLICATION,
         process_start_method: str | None = None,
@@ -129,6 +134,14 @@ class CloudBurstingRuntime:
         #: execution. Off (``None``) by default: the disabled path is a
         #: single ``None`` check.
         self.monitor = monitor
+        #: Optional :class:`~repro.options.ScaleOptions`: elastic cloud
+        #: bursting. ``autoscale=True`` drives a pure
+        #: :class:`~repro.scale.Autoscaler` off the monitor's sample
+        #: stream (an internal monitor is built when none was given) and
+        #: attaches/detaches cloud slaves mid-run; ``revocation`` arms a
+        #: seeded :class:`~repro.scale.SpotRevoker` on the cloud crew.
+        #: ``None`` (or all-defaults) builds none of this machinery.
+        self.scale = scale if scale is not None and scale.enabled else None
         #: ``"thread"`` (the original in-process slaves) or ``"process"``
         #: (a :class:`~repro.runtime.procpool.ProcessSlavePool`: decode +
         #: local reduction in worker processes fed over shared memory —
@@ -198,14 +211,44 @@ class CloudBurstingRuntime:
             st = codec.stats
             sync_before = (st.uploads, st.wire_bytes, st.dense_bytes)
 
+        # -- elastic bursting wiring ----------------------------------------
+        scale = self.scale
+        cloud_cluster = f"{CLOUD_SITE}-cluster" if CLOUD_SITE in sites else None
+        autoscaling = (
+            scale is not None and scale.autoscale and cloud_cluster is not None
+        )
+        revoker: SpotRevoker | None = None
+        if scale is not None and cloud_cluster is not None:
+            rev_spec = scale.revocation_spec
+            if rev_spec is not None:
+                revoker = SpotRevoker(rev_spec, trace=trace)
+        initial_cloud = self.compute.cores_at(CLOUD_SITE) if cloud_cluster else 0
+        # Dynamic slaves a scale-up may attach beyond the initial crew.
+        # Revocations free fleet slots but never slave ids (a dead id
+        # stays dead to the master), so revocable runs get id headroom.
+        dynamic_headroom = 0
+        if autoscaling:
+            dynamic_headroom = max(0, scale.max_slaves - initial_cloud)
+            if revoker is not None:
+                dynamic_headroom += scale.max_slaves
+
+        def cloud_fault_hook(slave_id: int, job) -> None:
+            if revoker is not None:
+                revoker.hook(slave_id, job)
+            if self.fault_hook is not None:
+                self.fault_hook(slave_id, job)
+
         pool: ProcessSlavePool | None = None
         if self.slave_mode == "process":
             # Workers must exist before any runtime thread starts (fork
             # safety), and one shared-memory segment per slave is sized to
-            # the largest chunk it can ever be handed.
+            # the largest chunk it can ever be handed. Autoscaling
+            # pre-sizes the pool so mid-run attaches find their worker
+            # process already forked.
             pool = ProcessSlavePool(
                 self.app,
-                sum(self.compute.cores_at(site) for site in sites),
+                sum(self.compute.cores_at(site) for site in sites)
+                + dynamic_headroom,
                 max_chunk_bytes=max(e.chunk_bytes for e in self.index.files),
                 units_per_group=self.tuning.units_per_group,
                 strategy=self.process_strategy,
@@ -242,6 +285,8 @@ class CloudBurstingRuntime:
             masters.append(master)
             masters_by_name[name] = master
             for _ in range(cores):
+                if revoker is not None and site == CLOUD_SITE:
+                    revoker.admit(slave_id)
                 slaves.append(
                     SlaveWorker(
                         slave_id,
@@ -251,7 +296,11 @@ class CloudBurstingRuntime:
                         reader,
                         master.inbox,
                         units_per_group=self.tuning.units_per_group,
-                        fault_hook=self.fault_hook,
+                        fault_hook=(
+                            cloud_fault_hook
+                            if revoker is not None and site == CLOUD_SITE
+                            else self.fault_hook
+                        ),
                         trace=trace,
                         metrics=self.metrics,
                         take_timeout=self.join_timeout,
@@ -267,6 +316,10 @@ class CloudBurstingRuntime:
                 slave_id += 1
 
         monitor = self.monitor
+        if monitor is None and autoscaling:
+            # The controller needs a sample stream; build a private one.
+            monitor = RunMonitor(scale.interval)
+        slaves_lock = threading.Lock()
         if monitor is not None:
             jobs_total = len(self.index.jobs())
             cache = self.cache
@@ -274,6 +327,13 @@ class CloudBurstingRuntime:
             def probe() -> dict:
                 pool_depth = sum(len(m.pool) for m in masters)
                 in_flight = sum(m.pool.in_flight for m in masters)
+                with slaves_lock:
+                    crew = tuple(slaves)
+                workers = (
+                    sum(1 for s in crew if s.is_alive())
+                    if autoscaling
+                    else len(crew)
+                )
                 gauges = {
                     "jobs_total": jobs_total,
                     "jobs_done": sum(m.pool.jobs_done for m in masters),
@@ -282,10 +342,10 @@ class CloudBurstingRuntime:
                     "steals": sum(
                         c.jobs_stolen for c in scheduler.clusters.values()
                     ),
-                    "workers": len(slaves),
+                    "workers": workers,
                     # A taken-but-unfinished job occupies a worker; the
                     # pool's in-flight count is the cheap busy gauge.
-                    "workers_busy": min(in_flight, len(slaves)),
+                    "workers_busy": min(in_flight, workers),
                     "remote_fetches": reader.remote_fetches,
                 }
                 if cache is not None:
@@ -296,6 +356,96 @@ class CloudBurstingRuntime:
                 return gauges
 
             monitor.bind(probe)
+
+        controller: Autoscaler | None = None
+        scale_state = {"added": 0, "removed": 0, "next_id": slave_id,
+                       "applying": True}
+        if autoscaling and monitor is not None:
+            controller = Autoscaler(
+                min_slaves=scale.min_slaves,
+                max_slaves=scale.max_slaves,
+                deadline=scale.deadline,
+                budget=scale.budget,
+                dollars_per_slave_hour=scale.dollars_per_slave_hour,
+                damping=scale.damping,
+            )
+            cloud_master = masters_by_name[cloud_cluster]
+            watermark = spec.watermark if spec is not None and spec.stream else 0
+
+            def build_dynamic_slave(sid: int) -> SlaveWorker:
+                return SlaveWorker(
+                    sid,
+                    cloud_cluster,
+                    CLOUD_SITE,
+                    self.app,
+                    reader,
+                    cloud_master.inbox,
+                    units_per_group=self.tuning.units_per_group,
+                    fault_hook=(
+                        cloud_fault_hook
+                        if revoker is not None
+                        else self.fault_hook
+                    ),
+                    trace=trace,
+                    metrics=self.metrics,
+                    take_timeout=self.join_timeout,
+                    prefetch=self.prefetch,
+                    sync_watermark=watermark,
+                    process_slave=(
+                        pool.slaves[sid] if pool is not None else None
+                    ),
+                )
+
+            def on_sample(sample) -> None:
+                revoked = (
+                    revoker.revoked
+                    if revoker is not None
+                    else cloud_master.slaves_revoked
+                )
+                fleet = max(
+                    0,
+                    initial_cloud
+                    + scale_state["added"]
+                    - scale_state["removed"]
+                    - revoked,
+                )
+                decision = controller.observe(sample, fleet)
+                if not scale_state["applying"]:
+                    # The run is tearing down: keep accruing dollars for
+                    # the closing sample, stop changing the fleet.
+                    return
+                if decision.action == "add":
+                    workers = []
+                    for _ in range(decision.count):
+                        sid = scale_state["next_id"]
+                        if pool is not None and sid >= len(pool.slaves):
+                            break  # process slots exhausted; skip the add
+                        scale_state["next_id"] = sid + 1
+                        worker = build_dynamic_slave(sid)
+                        if revoker is not None:
+                            revoker.admit(sid)
+                        workers.append(worker)
+                    if workers:
+                        with slaves_lock:
+                            slaves.extend(workers)
+                        scale_state["added"] += len(workers)
+                        cloud_master.inbox.post(
+                            SlaveAttach(workers=tuple(workers))
+                        )
+                        if trace is not None:
+                            trace.emit(
+                                "scale_up", cluster=cloud_cluster,
+                                detail=f"+{len(workers)}: {decision.reason}",
+                            )
+                elif decision.action == "remove":
+                    count = min(decision.count, max(0, fleet - 1))
+                    if count > 0:
+                        scale_state["removed"] += count
+                        cloud_master.inbox.post(SlaveDetach(count=count))
+                        # The master traces one scale_down per slave it
+                        # actually retires (its floor may defer some).
+
+            monitor.subscribe(on_sample)
 
         head.start()
         for master in masters:
@@ -310,7 +460,9 @@ class CloudBurstingRuntime:
                 result = head.join(timeout=self.join_timeout)
             except RuntimeTimeoutError:
                 alive_masters = [m.name for m in masters if m.is_alive()]
-                alive_slaves = [s.slave_id for s in slaves if s.is_alive()]
+                with slaves_lock:
+                    crew = tuple(slaves)
+                alive_slaves = [s.slave_id for s in crew if s.is_alive()]
                 raise RuntimeTimeoutError(
                     f"run did not complete within {self.join_timeout:g}s: the "
                     f"head node is still waiting; masters still alive: "
@@ -319,12 +471,18 @@ class CloudBurstingRuntime:
                     f"message keeps the reduction from converging"
                 ) from None
             finally:
+                scale_state["applying"] = False
                 if monitor is not None:
                     monitor.stop()
             for master in masters:
                 master.join(timeout=self.join_timeout)
+            with slaves_lock:
+                slaves = list(slaves)
             for slave in slaves:
-                slave.join(timeout=self.join_timeout)
+                # A scale-up posted in the run's last instants may never
+                # have been started by the master; there is nothing to join.
+                if slave._thread is not None:
+                    slave.join(timeout=self.join_timeout)
         finally:
             if pool is not None:
                 pool.close()
@@ -333,12 +491,20 @@ class CloudBurstingRuntime:
         telemetry = RunTelemetry(wall_seconds=wall)
         for master, site in zip(masters, sites):
             name = master.name
-            crew = [s.telemetry for s in slaves if s.cluster == name]
+            crew = [
+                s.telemetry
+                for s in slaves
+                if s.cluster == name and s._thread is not None
+            ]
             telemetry.clusters[name] = ClusterTelemetry.aggregate(
                 name, site, crew, stolen=scheduler.clusters[name].jobs_stolen
             )
             telemetry.slaves_failed += master.slaves_failed
+            telemetry.slaves_revoked += master.slaves_revoked
+            telemetry.slaves_added += master.slaves_added
             telemetry.jobs_reexecuted += master.jobs_reexecuted
+        if controller is not None:
+            telemetry.dollars_spent = controller.dollars_spent
 
         telemetry.bytes_copied = reader.bytes_copied
         telemetry.zero_copy_reads = reader.zero_copy_reads
@@ -393,6 +559,8 @@ class CloudBurstingRuntime:
             registry = self.metrics
             registry.counter("jobs_stolen").inc(telemetry.total_stolen)
             registry.counter("slaves_failed").inc(telemetry.slaves_failed)
+            registry.counter("slaves_revoked").inc(telemetry.slaves_revoked)
+            registry.counter("slaves_added").inc(telemetry.slaves_added)
             registry.counter("jobs_reexecuted").inc(telemetry.jobs_reexecuted)
             registry.counter("groups_assigned").inc(
                 sum(c.groups_assigned for c in scheduler.clusters.values())

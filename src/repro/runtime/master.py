@@ -23,6 +23,8 @@ from .messages import (
     GroupComplete,
     JobRequest,
     ReductionUpload,
+    SlaveAttach,
+    SlaveDetach,
     SlaveFailed,
     SlaveJobReply,
     SlaveJobRequest,
@@ -83,6 +85,8 @@ class MasterNode:
         self.pool = JobPool(low_water=low_water)
         self.combine_seconds = 0.0
         self.slaves_failed = 0
+        self.slaves_revoked = 0
+        self.slaves_added = 0
         self.jobs_reexecuted = 0
         self.sync = sync
         self.sync_partials = 0
@@ -163,6 +167,12 @@ class MasterNode:
         # that job forever (nobody will process it), so requests from dead
         # slaves — parked or late-arriving — are answered ``None``.
         dead: set[int] = set()
+        # Elastic scaling state: slaves retired by a SlaveDetach (they
+        # exit cleanly and still deliver their final reduction object),
+        # pending retirements, and the count of slaves still working.
+        retired: set[int] = set()
+        retire_pending = 0
+        active_slaves = self.num_slaves
         # Every job ever handed to each slave: a dead slave's reduction
         # object is lost, so all of this must be re-executed (FREERIDE-style
         # recovery).
@@ -202,8 +212,23 @@ class MasterNode:
         while len(robjs) < expected_robjs or children_seen < expected_children:
             message = self.inbox.take(timeout=self.take_timeout)
             if isinstance(message, SlaveJobRequest):
-                if message.slave_id in dead:
+                if message.slave_id in dead or message.slave_id in retired:
                     message.reply_to.post(SlaveJobReply(None))
+                    continue
+                if retire_pending > 0 and active_slaves > 1:
+                    # Cooperative scale-down: answer ``None`` so the slave
+                    # exits its loop and delivers its final reduction
+                    # object. Never retire the last active slave — jobs
+                    # pooled or in flight would strand forever.
+                    retire_pending -= 1
+                    active_slaves -= 1
+                    retired.add(message.slave_id)
+                    message.reply_to.post(SlaveJobReply(None))
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "scale_down", cluster=self.name,
+                            worker=message.slave_id, detail="slave retired",
+                        )
                     continue
                 waiting.append(message)
                 refill()
@@ -217,7 +242,11 @@ class MasterNode:
                 serve_waiting()  # a drained pool may have just become final
             elif isinstance(message, SlaveFailed):
                 expected_robjs -= 1
-                self.slaves_failed += 1
+                active_slaves -= 1
+                if message.revoked:
+                    self.slaves_revoked += 1
+                else:
+                    self.slaves_failed += 1
                 dead.add(message.slave_id)
                 for _ in range(len(waiting)):
                     request = waiting.popleft()
@@ -229,11 +258,13 @@ class MasterNode:
                 self.pool.requeue(lost)
                 self.jobs_reexecuted += len(lost)
                 if self.trace is not None:
-                    self.trace.emit(
-                        "slave_failed", cluster=self.name,
-                        worker=message.slave_id,
-                        detail=f"{len(lost)} jobs to re-execute",
-                    )
+                    if not message.revoked:
+                        # A revocation already traced itself at raise time.
+                        self.trace.emit(
+                            "slave_failed", cluster=self.name,
+                            worker=message.slave_id,
+                            detail=f"{len(lost)} jobs to re-execute",
+                        )
                     for job in lost:
                         self.trace.emit(
                             "job_reexecuted", cluster=self.name,
@@ -295,6 +326,22 @@ class MasterNode:
                         "sync_merge", cluster=self.name,
                         detail=f"upload from {message.cluster}",
                     )
+            elif isinstance(message, SlaveAttach):
+                # Scale-up: start the new workers from inside the protocol
+                # loop so expected_robjs grows atomically with the workers
+                # that will satisfy it.
+                for worker in message.workers:
+                    expected_robjs += 1
+                    active_slaves += 1
+                    self.slaves_added += 1
+                    worker.start()
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "provision", cluster=self.name,
+                            worker=worker.slave_id, detail="slave attached",
+                        )
+            elif isinstance(message, SlaveDetach):
+                retire_pending += message.count
             else:
                 raise RuntimeProtocolError(
                     f"master {self.name!r} received {type(message).__name__}"

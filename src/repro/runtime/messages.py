@@ -27,6 +27,8 @@ __all__ = [
     "SlaveJobDone",
     "SlaveFailed",
     "SlaveReduction",
+    "SlaveAttach",
+    "SlaveDetach",
     "HeadResult",
 ]
 
@@ -108,10 +110,47 @@ class SlaveJobDone:
 @dataclass(frozen=True)
 class SlaveFailed:
     """A slave worker died. Its reduction object is lost, so every job it
-    ever processed (plus its in-flight job) must be re-executed."""
+    ever processed (plus its in-flight job) must be re-executed.
+
+    ``revoked`` distinguishes a simulated spot-instance revocation
+    (:class:`~repro.errors.SpotRevocation`) from a genuine crash: the
+    recovery path is identical, the telemetry account is not.
+    """
 
     slave_id: int
     in_flight: Job | None
+    revoked: bool = False
+
+
+# -- driver -> master (elastic scaling) --------------------------------------
+
+
+@dataclass(frozen=True)
+class SlaveAttach:
+    """The autoscaler hands the master freshly built slave workers.
+
+    The master starts them inside its protocol loop and raises its
+    expected-reduction count atomically with respect to that loop, so a
+    scale-up can never race the end-of-run accounting. An attach that
+    arrives after the loop exited is simply never started (the driver
+    joins only started slaves).
+    """
+
+    workers: tuple  # of repro.runtime.slave.SlaveWorker
+
+
+@dataclass(frozen=True)
+class SlaveDetach:
+    """The autoscaler asks the master to retire ``count`` slaves.
+
+    Retirement is cooperative: the master answers the next ``count`` job
+    requests with ``None``, so each victim exits its loop cleanly and
+    hands over its final reduction object — nothing is lost and nothing
+    re-executes. The master never retires its last active slave (jobs
+    still pooled or in flight would strand forever).
+    """
+
+    count: int
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ from ..cache import Prefetcher
 from ..core.api import GeneralizedReductionApp
 from ..core.job import Job
 from ..data.dataset import DatasetReader
-from ..errors import RuntimeProtocolError, WorkerFailure
+from ..errors import RuntimeProtocolError, SpotRevocation, WorkerFailure
 from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry
 from .messages import SlaveFailed, SlaveJobDone, SlaveJobRequest, SlaveReduction
@@ -134,11 +134,17 @@ class SlaveWorker:
         current: list[Job | None] = [None]
         try:
             self._work(current)
-        except WorkerFailure:
+        except WorkerFailure as exc:
             # An injected crash: the worker dies, the middleware recovers.
+            # A SpotRevocation is the same death with different paperwork —
+            # the master accounts it as a revocation, not a failure.
             self.crashed = True
             self.master_inbox.post(
-                SlaveFailed(slave_id=self.slave_id, in_flight=current[0])
+                SlaveFailed(
+                    slave_id=self.slave_id,
+                    in_flight=current[0],
+                    revoked=isinstance(exc, SpotRevocation),
+                )
             )
         except BaseException as exc:
             # A genuine bug: recover the run (re-execute this worker's jobs

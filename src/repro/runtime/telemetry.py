@@ -93,6 +93,12 @@ class RunTelemetry:
     clusters: dict[str, ClusterTelemetry] = field(default_factory=dict)
     slaves_failed: int = 0
     jobs_reexecuted: int = 0
+    #: Elastic-bursting accounting (see :mod:`repro.scale`): slaves the
+    #: autoscaler attached mid-run, spot instances revoked out from under
+    #: their jobs, and the controller's accrued cloud spend in dollars.
+    slaves_added: int = 0
+    slaves_revoked: int = 0
+    dollars_spent: float = 0.0
     #: Data-path recovery accounting (see :mod:`repro.resilience`): filled
     #: by the driver from the reader's shared stats when a retry policy is
     #: active; all zero otherwise.
@@ -151,6 +157,9 @@ class RunTelemetry:
             "wall_seconds": self.wall_seconds,
             "slaves_failed": self.slaves_failed,
             "jobs_reexecuted": self.jobs_reexecuted,
+            "slaves_added": self.slaves_added,
+            "slaves_revoked": self.slaves_revoked,
+            "dollars_spent": self.dollars_spent,
             "retries": self.retries,
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,
@@ -188,6 +197,9 @@ class RunTelemetry:
                 clusters=clusters,
                 slaves_failed=int(doc.get("slaves_failed", 0)),
                 jobs_reexecuted=int(doc.get("jobs_reexecuted", 0)),
+                slaves_added=int(doc.get("slaves_added", 0)),
+                slaves_revoked=int(doc.get("slaves_revoked", 0)),
+                dollars_spent=float(doc.get("dollars_spent", 0.0)),
                 retries=int(doc.get("retries", 0)),
                 hedges=int(doc.get("hedges", 0)),
                 hedge_wins=int(doc.get("hedge_wins", 0)),

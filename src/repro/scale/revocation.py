@@ -1,0 +1,179 @@
+"""Seeded spot/transient-instance revocation for cloud slaves.
+
+Cloud providers reclaim spot capacity with little warning; a framework
+that bursts onto spot instances must treat "my slave vanished mid-job"
+as a normal event, not a disaster. This module models that: a
+:class:`RevocationSpec` says how often instances vanish (and how long a
+replacement takes to provision), and a :class:`SpotRevoker` turns the
+spec into a per-slave fault hook whose randomness is fully seeded — a
+given spec produces the same revocation schedule for the same job
+sequence, so chaos tests can assert exact accounting.
+
+Recovery is deliberately *not* implemented here: a revoked slave raises
+:class:`~repro.errors.SpotRevocation` (a :class:`~repro.errors.WorkerFailure`),
+and the existing master re-execution path requeues everything the victim
+touched. Results stay bit-identical; only the telemetry distinguishes
+``slaves_revoked`` from ``slaves_failed``.
+
+A spec is buildable from a compact text grammar so the CLI can take
+``--revoke`` on the command line::
+
+    rate=0.05            each cloud slave rolls a 5% die per job taken
+    seed=7               reseed the revocation schedule
+    provision=30         replacement capacity takes 30 s to come up
+
+Clauses are comma-separated, mirroring ``FaultSpec.parse``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, SpotRevocation
+from ..obs.events import EventLog
+
+__all__ = ["RevocationSpec", "SpotRevoker"]
+
+
+@dataclass(frozen=True)
+class RevocationSpec:
+    """How often cloud instances vanish, and how slowly they come back.
+
+    ``rate`` is the per-job probability that the slave taking the job is
+    revoked (the draw happens at the job boundary, before any bytes are
+    fetched, so the in-flight job requeues losslessly). ``provision_seconds``
+    is the delay between an autoscaler's scale-up decision and the new
+    slave actually joining — both substrates model it identically.
+    """
+
+    rate: float = 0.0
+    seed: int = 2011
+    provision_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"revocation rate must be in [0, 1], got {self.rate}"
+            )
+        if self.provision_seconds < 0:
+            raise ConfigurationError("provision_seconds cannot be negative")
+
+    @classmethod
+    def parse(cls, text: str) -> "RevocationSpec":
+        """Build a spec from the ``--revoke`` grammar (see module docs)."""
+        fields: dict = {}
+        for clause in filter(None, (c.strip() for c in text.split(","))):
+            if "=" not in clause:
+                raise ConfigurationError(
+                    f"revocation clause {clause!r}: expected key=value"
+                )
+            key, _, value = clause.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "rate":
+                try:
+                    fields["rate"] = float(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"revocation clause {clause!r}: bad rate {value!r}"
+                    ) from None
+            elif key == "seed":
+                try:
+                    fields["seed"] = int(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"revocation clause {clause!r}: seed must be an integer"
+                    ) from None
+            elif key == "provision":
+                try:
+                    fields["provision_seconds"] = float(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"revocation clause {clause!r}: bad seconds {value!r}"
+                    ) from None
+            else:
+                raise ConfigurationError(
+                    f"unknown revocation clause {key!r} "
+                    "(known: rate, seed, provision)"
+                )
+        return cls(**fields)
+
+    @property
+    def active(self) -> bool:
+        return self.rate > 0
+
+    def describe(self) -> str:
+        parts = [f"rate={self.rate:g}", f"seed={self.seed}"]
+        if self.provision_seconds:
+            parts.append(f"provision={self.provision_seconds:g}")
+        return ",".join(parts)
+
+    def draw(self, slave_id: int, job_index: int) -> bool:
+        """Deterministic per-(slave, job-ordinal) revocation roll.
+
+        Used by the simulators, where there is no shared hook state: the
+        schedule must be a pure function of the spec and the slave's own
+        job sequence, never of thread interleaving.
+        """
+        if self.rate <= 0:
+            return False
+        rng = random.Random((self.seed * 1_000_003) ^ (slave_id << 17) ^ job_index)
+        return rng.random() < self.rate
+
+
+class SpotRevoker:
+    """Turns a :class:`RevocationSpec` into a runtime fault hook.
+
+    One instance serves every cloud slave of a run. Each slave gets its
+    own RNG seeded from ``(spec.seed, slave_id)``, so the schedule is
+    deterministic regardless of how the scheduler interleaves threads.
+    The revoker keeps a floor of one surviving cloud slave per run —
+    revoking the last one would leave the cloud master with no workers
+    and turn a recoverable event into "every slave failed".
+    """
+
+    def __init__(self, spec: RevocationSpec, *, trace: EventLog | None = None) -> None:
+        self.spec = spec
+        self.trace = trace
+        self.revoked = 0
+        self._lock = threading.Lock()
+        self._jobs_seen: dict[int, int] = {}
+        self._active: set[int] = set()
+
+    def admit(self, slave_id: int) -> None:
+        """Register a cloud slave as revocable (idempotent)."""
+        with self._lock:
+            self._active.add(slave_id)
+
+    def retire(self, slave_id: int) -> None:
+        """A slave left cleanly (scale-down); stop tracking it."""
+        with self._lock:
+            self._active.discard(slave_id)
+
+    def hook(self, slave_id: int, job) -> None:
+        """Per-job fault hook: roll the revocation die for this slave."""
+        if not self.spec.active:
+            return
+        with self._lock:
+            if slave_id not in self._active:
+                return
+            ordinal = self._jobs_seen.get(slave_id, 0)
+            self._jobs_seen[slave_id] = ordinal + 1
+            if not self.spec.draw(slave_id, ordinal):
+                return
+            if len(self._active) <= 1:
+                # Floor: never revoke the last surviving cloud slave.
+                return
+            self._active.discard(slave_id)
+            self.revoked += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "revocation",
+                worker=slave_id,
+                detail=f"spot instance revoked holding job {job.job_id}",
+            )
+        raise SpotRevocation(
+            f"spot instance for slave {slave_id} revoked (job {job.job_id})"
+        )

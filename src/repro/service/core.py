@@ -63,12 +63,17 @@ class TenantSpec:
     backlog and ``max_active`` its concurrently-executing runs; ``None``
     means unbounded. Admission rejects (never silently drops) past
     ``max_pending``; ``max_active`` merely defers dispatch.
+    ``max_cloud_slaves`` caps how far this tenant's autoscaled runs may
+    burst: at dispatch the run's ``ScaleOptions.max_slaves`` (and, if
+    needed, ``min_slaves``) is clamped down to the quota, so no tenant
+    can outspend its share of the cloud however ambitious its config.
     """
 
     name: str
     weight: float = 1.0
     max_pending: int | None = None
     max_active: int | None = None
+    max_cloud_slaves: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -85,6 +90,10 @@ class TenantSpec:
         if self.max_active is not None and self.max_active < 1:
             raise ServiceError(
                 f"tenant {self.name!r} max_active must be >= 1 or None"
+            )
+        if self.max_cloud_slaves is not None and self.max_cloud_slaves < 1:
+            raise ServiceError(
+                f"tenant {self.name!r} max_cloud_slaves must be >= 1 or None"
             )
 
 
@@ -414,8 +423,24 @@ class JobService:
                 self._finish_locked(run, RunState.DONE, dispatched=True)
 
     def _exec_config(self, run: _Run) -> RunConfig:
-        """Per-dispatch config: tee monitor samples into the handle."""
+        """Per-dispatch config: clamp the tenant's cloud-burst quota and
+        tee monitor samples into the handle."""
         config = run.config
+        spec = self._tenants.get(run.tenant)
+        quota = spec.max_cloud_slaves if spec is not None else None
+        if (
+            quota is not None
+            and config.scale.enabled
+            and config.scale.max_slaves > quota
+        ):
+            config = dataclasses.replace(
+                config,
+                scale=dataclasses.replace(
+                    config.scale,
+                    max_slaves=quota,
+                    min_slaves=min(config.scale.min_slaves, quota),
+                ),
+            )
         if not config.monitor.enabled:
             return config
         user_cb = config.monitor.on_sample

@@ -46,7 +46,10 @@ class ServiceJournal:
                 data = json.load(fh)
         except FileNotFoundError:
             return {}
-        except json.JSONDecodeError as exc:
+        except ValueError as exc:
+            # Covers json.JSONDecodeError and UnicodeDecodeError alike:
+            # a journal overwritten with binary garbage is reported with
+            # its path, not a raw decode traceback.
             raise ServiceError(
                 f"journal {self.path!r} is not valid JSON: {exc}"
             ) from exc

@@ -81,6 +81,13 @@ class SimReport:
     #: Modeled storage faults applied to the fetch path (zero unless the
     #: simulation was given a :class:`~repro.resilience.FaultSpec`).
     faults_injected: int = 0
+    #: Elastic-bursting ledger (zero unless the simulation was given an
+    #: enabled :class:`~repro.options.ScaleOptions`): dynamic slaves that
+    #: joined mid-run, spot instances revoked, and modeled dollars spent
+    #: on the burstable fleet.
+    slaves_added: int = 0
+    slaves_revoked: int = 0
+    dollars_spent: float = 0.0
 
     def cluster(self, name: str) -> ClusterReport:
         try:
@@ -119,6 +126,9 @@ class SimReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "faults_injected": self.faults_injected,
+            "slaves_added": self.slaves_added,
+            "slaves_revoked": self.slaves_revoked,
+            "dollars_spent": self.dollars_spent,
             "clusters": {name: asdict(c) for name, c in self.clusters.items()},
         }
 
@@ -142,6 +152,9 @@ class SimReport:
                 cache_hits=int(doc.get("cache_hits", 0)),
                 cache_misses=int(doc.get("cache_misses", 0)),
                 faults_injected=int(doc.get("faults_injected", 0)),
+                slaves_added=int(doc.get("slaves_added", 0)),
+                slaves_revoked=int(doc.get("slaves_revoked", 0)),
+                dollars_spent=float(doc.get("dollars_spent", 0.0)),
             )
         except (KeyError, TypeError) as exc:
             raise SimulationError(f"malformed report document: {exc}") from exc

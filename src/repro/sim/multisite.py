@@ -24,8 +24,12 @@ The run loop mirrors the two-site simulator; the report is the same
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from ..apps.base import AppProfile, get_profile
+
+if TYPE_CHECKING:
+    from ..options import ScaleOptions
 from ..config import DatasetSpec, MiddlewareTuning
 from ..core.index import DataIndex, FileEntry
 from ..core.job import Job
@@ -33,6 +37,7 @@ from ..core.scheduler import HeadScheduler
 from ..core.sync import SyncSpec, build_sync_plan, plan_roots
 from ..cluster.variability import LOCAL_VARIABILITY, VariabilityModel
 from ..errors import ConfigurationError, SimulationError
+from ..scale.simmodel import ClusterBurst
 from ..units import MB
 from .computemodel import ComputeModel
 from .engine import Environment, Event
@@ -264,6 +269,8 @@ class MultiSiteSimulation:
         merge_seconds_per_byte: float = 1.0 / (2.0 * 1024**3),
         trace: "TraceRecorder | None" = None,
         sync: SyncSpec | None = None,
+        scale: "ScaleOptions | None" = None,
+        scale_site: str | None = None,
     ) -> None:
         self.config = config
         self.profile = profile or get_profile(config.app)
@@ -272,6 +279,23 @@ class MultiSiteSimulation:
         #: Sync plan, as in :class:`~repro.sim.simulation.CloudBurstSimulation`;
         #: a default spec collapses to the legacy star path.
         self.sync = None if sync is None or sync.is_default else sync
+        #: Elastic bursting, modeled exactly as in the two-site simulator:
+        #: the burstable site (``scale_site``, defaulting to the first
+        #: active non-head site — the "cloud" in a campus-plus-provider
+        #: layout) gains a :class:`~repro.scale.simmodel.ClusterBurst`.
+        self.scale = scale if scale is not None and scale.enabled else None
+        self.scale_site = scale_site
+        if self.scale is not None and scale_site is not None:
+            if not any(
+                s.name == scale_site and s.cores > 0 for s in config.sites
+            ):
+                raise ConfigurationError(
+                    f"scale_site {scale_site!r} is not an active site"
+                )
+        #: Scaling ledger for the last :meth:`run`.
+        self.slaves_added = 0
+        self.slaves_revoked = 0
+        self.dollars_spent = 0.0
 
     def _build_stores(self, env: Environment) -> dict[tuple[str, str], SimStore]:
         stores: dict[tuple[str, str], SimStore] = {}
@@ -299,7 +323,8 @@ class MultiSiteSimulation:
             site_slowdowns={s.name: s.compute_slowdown for s in config.sites},
         )
         index = config.build_index()
-        scheduler = HeadScheduler(index.jobs(), config.tuning, seed=config.seed)
+        jobs = index.jobs()
+        scheduler = HeadScheduler(jobs, config.tuning, seed=config.seed)
 
         def fetch(job: Job, slave_site: str, threads: int) -> Event:
             store = stores.get((job.site, slave_site))
@@ -394,6 +419,35 @@ class MultiSiteSimulation:
         merged_at: dict[str, float] = {}
         head_busy_until = [0.0]
 
+        # Elastic bursting: same probe vocabulary and shared ClusterBurst
+        # as the two-site simulator, attached to the burstable site.
+        self.slaves_added = 0
+        self.slaves_revoked = 0
+        self.dollars_spent = 0.0
+        burst: ClusterBurst | None = None
+        burst_site: str | None = None
+        if self.scale is not None:
+            burst_site = self.scale_site or next(
+                (s.name for s in active_sites if s.name != head),
+                active_sites[0].name,
+            )
+        jobs_total = len(jobs)
+
+        def scale_probe() -> dict:
+            crews = [s for crew in slaves.values() for s in crew]
+            if burst is not None:
+                crews += burst.started
+            workers = len(crews)
+            waiting = sum(m.idle_slaves for m in masters.values())
+            return {
+                "jobs_total": jobs_total,
+                "jobs_done": sum(s.metrics.jobs for s in crews),
+                "pool_depth": sum(len(m.pool) for m in masters.values()),
+                "in_flight": sum(m.pool.in_flight for m in masters.values()),
+                "workers": workers,
+                "workers_busy": max(0, workers - waiting),
+            }
+
         cluster_procs = []
         worker_id = 0
         for site in active_sites:
@@ -425,13 +479,43 @@ class MultiSiteSimulation:
                 worker_id += 1
             slaves[name] = crew
 
-            def cluster_proc(name=name, site=site, crew=crew):
+            if burst_site is not None and site.name == burst_site:
+
+                def make_burst_slave(wid, master=master, site=site):
+                    return SimSlave(
+                        env, wid, site.name, master, fetch, compute,
+                        retrieval_threads=config.tuning.retrieval_threads,
+                        trace=self.trace,
+                    )
+
+                burst = ClusterBurst(
+                    env, master, self.scale,
+                    initial=len(crew),
+                    make_slave=make_burst_slave,
+                    next_worker_id=worker_id,
+                    probe=scale_probe,
+                    trace=self.trace,
+                )
+                worker_id = burst.next_worker_id
+                for slave in crew:
+                    burst.admit(slave)
+
+            def cluster_proc(
+                name=name, site=site, crew=crew,
+                burst_=burst if site.name == burst_site else None,
+            ):
                 procs = [env.process(s.run(), name=f"slave:{s.worker_id}")
                          for s in crew]
+                dynamics = burst_.launch() if burst_ is not None else []
                 yield env.all_of(procs)
+                if burst_ is not None:
+                    burst_.close()
+                    yield env.all_of(dynamics)
+                    burst_.finalize(env.now)
+                members = crew if burst_ is None else crew + burst_.started
                 processing_end[name] = env.now
                 yield env.timeout(
-                    compute.combine_seconds(robj_bytes, len(crew),
+                    compute.combine_seconds(robj_bytes, len(members),
                                             site.intra_bandwidth)
                 )
                 combine_done[name] = env.now
@@ -454,10 +538,19 @@ class MultiSiteSimulation:
                 yield env.timeout(finish - env.now)
                 merged_at[name] = env.now
 
-            def cluster_proc_sync(name=name, site=site, crew=crew):
+            def cluster_proc_sync(
+                name=name, site=site, crew=crew,
+                burst_=burst if site.name == burst_site else None,
+            ):
                 procs = [env.process(s.run(), name=f"slave:{s.worker_id}")
                          for s in crew]
+                dynamics = burst_.launch() if burst_ is not None else []
                 yield env.all_of(procs)
+                if burst_ is not None:
+                    burst_.close()
+                    yield env.all_of(dynamics)
+                    burst_.finalize(env.now)
+                members = crew if burst_ is None else crew + burst_.started
                 processing_end[name] = env.now
                 if spec.stream:
                     # Streamed partials were folded during compute; only
@@ -465,7 +558,7 @@ class MultiSiteSimulation:
                     yield env.timeout(compute.merge_seconds(robj_bytes))
                 else:
                     yield env.timeout(
-                        compute.combine_seconds(robj_bytes, len(crew),
+                        compute.combine_seconds(robj_bytes, len(members),
                                                 site.intra_bandwidth)
                     )
                 combine_done[name] = env.now
@@ -528,6 +621,15 @@ class MultiSiteSimulation:
         env.run(env.all_of(cluster_procs))
         env.run()
 
+        if burst is not None:
+            # Fold dynamic slaves into the burst site's report crew and
+            # copy the scaling ledger (as the two-site simulator does).
+            burst_name = f"{burst_site}-cluster"
+            slaves[burst_name] = slaves[burst_name] + burst.started
+            self.slaves_added = burst.slaves_added
+            self.slaves_revoked = burst.slaves_revoked
+            self.dollars_spent = burst.dollars_spent
+
         if scheduler.jobs_remaining != 0:
             raise SimulationError(
                 f"{scheduler.jobs_remaining} jobs unassigned at end of run"
@@ -562,6 +664,9 @@ class MultiSiteSimulation:
             ),
             clusters=clusters,
             events_processed=env.events_processed,
+            slaves_added=self.slaves_added,
+            slaves_revoked=self.slaves_revoked,
+            dollars_spent=self.dollars_spent,
         )
         report.validate()
         return report

@@ -21,13 +21,21 @@ from .engine import Environment, Event
 from .metrics import SlaveMetrics
 from .trace import TraceRecorder
 
-__all__ = ["SimMaster", "SimSlave", "FetchFn"]
+__all__ = ["SimMaster", "SimSlave", "FetchFn", "LeaseFn"]
 
 #: ``fetch(job, slave_site, retrieval_threads) -> Event``. The callback owns
 #: the path choice *and* the connection-count decision (a local disk read is
 #: one sequential stream; object-store and cross-site fetches use the
 #: configured retrieval threads).
 FetchFn = Callable[[Job, str, int], Event]
+
+#: ``lease(worker_id, jobs_processed) -> bool``: checked at every job
+#: boundary before the slave asks for more work. ``False`` means the
+#: instance is gone — retired by the autoscaler or revoked by the spot
+#: market (see :class:`repro.scale.simmodel.ClusterBurst`) — and the slave
+#: exits its loop cleanly. Leaving at the boundary loses no job, so the
+#: report invariant "jobs processed == jobs assigned" holds unchanged.
+LeaseFn = Callable[[int, int], bool]
 
 
 class SimMaster:
@@ -72,6 +80,18 @@ class SimMaster:
         load-balancing strategy the paper's pooling design replaces.
         """
         self._no_more = True
+
+    # -- observability (the autoscaler's provisioner polls these) ------------
+
+    @property
+    def done(self) -> bool:
+        """True once the head has no more jobs for us and ours are finished."""
+        return self._no_more and self.pool.drained
+
+    @property
+    def idle_slaves(self) -> int:
+        """Slaves currently parked waiting for the pool to refill."""
+        return len(self._waiters)
 
     # -- slave-facing ---------------------------------------------------------
 
@@ -150,6 +170,7 @@ class SimSlave:
         *,
         retrieval_threads: int,
         trace: TraceRecorder | None = None,
+        lease: LeaseFn | None = None,
     ) -> None:
         self.env = env
         self.worker_id = worker_id
@@ -159,12 +180,20 @@ class SimSlave:
         self.compute = compute
         self.retrieval_threads = retrieval_threads
         self.trace = trace
+        #: Optional per-job-boundary liveness check (elastic bursting):
+        #: when it answers ``False`` the instance is gone and the loop
+        #: exits before taking another job.
+        self.lease = lease
         self.metrics = SlaveMetrics(worker_id=worker_id)
 
     def run(self):
         """The slave process body (pass to ``env.process``)."""
         metrics = self.metrics
         while True:
+            if self.lease is not None and not self.lease(
+                self.worker_id, metrics.jobs
+            ):
+                break
             job = yield from self.master.get_job()
             if job is None:
                 break

@@ -32,6 +32,7 @@ from ..apps.base import AppProfile, get_profile
 
 if TYPE_CHECKING:
     from ..cache import ChunkCache
+    from ..options import ScaleOptions
     from ..resilience.faults import FaultSpec
 from ..config import CLOUD_SITE, LOCAL_SITE, ExperimentConfig
 from ..core.index import build_index
@@ -42,6 +43,7 @@ from ..errors import SimulationError
 from .calibration import PAPER_CALIBRATION, SimCalibration
 from .computemodel import ComputeModel
 from .engine import Environment, Event
+from ..scale.simmodel import ClusterBurst
 from .linkmodel import FairShareLink
 from .metrics import ClusterReport, SimReport
 from .simnodes import SimMaster, SimSlave
@@ -79,6 +81,7 @@ class CloudBurstSimulation:
         cache: "ChunkCache | None" = None,
         sync: SyncSpec | None = None,
         faults: "FaultSpec | None" = None,
+        scale: "ScaleOptions | None" = None,
     ) -> None:
         self.config = config
         self.calibration = calibration
@@ -115,6 +118,17 @@ class CloudBurstSimulation:
         ) else faults
         #: Faults applied during the last :meth:`run` (also on the report).
         self.faults_injected = 0
+        #: Elastic bursting (:mod:`repro.scale`): the cloud cluster gains
+        #: a :class:`~repro.scale.simmodel.ClusterBurst` — a provisioner
+        #: driving the same pure autoscaler the runtime uses, with
+        #: provision latency and seeded spot revocation modeled in
+        #: virtual time. Disabled specs build none of the machinery.
+        self.scale = scale if scale is not None and scale.enabled else None
+        #: Scaling accounting for the last :meth:`run` (the simulator's
+        #: counterpart of ``RunTelemetry.slaves_added`` and friends).
+        self.slaves_added = 0
+        self.slaves_revoked = 0
+        self.dollars_spent = 0.0
 
     # -- wiring ---------------------------------------------------------------
 
@@ -150,8 +164,9 @@ class CloudBurstSimulation:
         )
 
         index = build_index(config.dataset, config.placement)
+        jobs = index.jobs()
         scheduler = HeadScheduler(
-            index.jobs(),
+            jobs,
             config.tuning,
             seed=config.seed,
             trace=(
@@ -171,6 +186,9 @@ class CloudBurstSimulation:
             else None
         )
         self.faults_injected = 0
+        self.slaves_added = 0
+        self.slaves_revoked = 0
+        self.dollars_spent = 0.0
 
         def _fault_delay(job: Job) -> float:
             """Extra modeled seconds the fault layer charges this fetch."""
@@ -272,6 +290,27 @@ class CloudBurstSimulation:
         processing_end: dict[str, float] = {}
         head_busy_until = [0.0]  # serialize head-side merges
 
+        # Elastic bursting: the cloud cluster's provisioner samples these
+        # global gauges (the same raw vocabulary the runtime's probe
+        # feeds obs.live) and the shared pure controller decides.
+        burst: ClusterBurst | None = None
+        jobs_total = len(jobs)
+
+        def scale_probe() -> dict:
+            crews = [s for crew in slaves.values() for s in crew]
+            if burst is not None:
+                crews += burst.started
+            workers = len(crews)
+            waiting = sum(m.idle_slaves for m in masters.values())
+            return {
+                "jobs_total": jobs_total,
+                "jobs_done": sum(s.metrics.jobs for s in crews),
+                "pool_depth": sum(len(m.pool) for m in masters.values()),
+                "in_flight": sum(m.pool.in_flight for m in masters.values()),
+                "workers": workers,
+                "workers_busy": max(0, workers - waiting),
+            }
+
         cluster_procs = []
         worker_id = 0
         for site in sites:
@@ -310,18 +349,53 @@ class CloudBurstSimulation:
                 crew.append(slave)
             slaves[name] = crew
 
+            if self.scale is not None and site == CLOUD_SITE:
+
+                def make_cloud_slave(wid, master=master):
+                    return SimSlave(
+                        env, wid, CLOUD_SITE, master, fetch, compute,
+                        retrieval_threads=config.tuning.retrieval_threads,
+                        trace=self.trace,
+                    )
+
+                burst = ClusterBurst(
+                    env, master, self.scale,
+                    initial=len(crew),
+                    make_slave=make_cloud_slave,
+                    next_worker_id=worker_id,
+                    probe=scale_probe,
+                    trace=self.trace,
+                )
+                worker_id = burst.next_worker_id
+                for slave in crew:
+                    burst.admit(slave)
+
             intra_bw = (
                 self.calibration.intra_local_bandwidth
                 if site == LOCAL_SITE
                 else self.calibration.intra_cloud_bandwidth
             )
 
-            def cluster_proc(name=name, site=site, crew=crew, intra_bw=intra_bw):
+            def cluster_proc(
+                name=name, site=site, crew=crew, intra_bw=intra_bw,
+                burst_=burst if site == CLOUD_SITE else None,
+            ):
                 procs = [env.process(s.run(), name=f"slave:{s.worker_id}") for s in crew]
+                dynamics = burst_.launch() if burst_ is not None else []
                 yield env.all_of(procs)
+                if burst_ is not None:
+                    # The static crew drained, so the pool is dry: release
+                    # the never-provisioned gates, let provisioned slaves
+                    # exit at this same timestamp, and shut the ledger.
+                    burst_.close()
+                    yield env.all_of(dynamics)
+                    burst_.finalize(env.now)
+                members = crew if burst_ is None else crew + burst_.started
                 processing_end[name] = env.now
                 # Intra-cluster combine (tree merge of the slaves' objects).
-                yield env.timeout(compute.combine_seconds(robj_bytes, len(crew), intra_bw))
+                yield env.timeout(
+                    compute.combine_seconds(robj_bytes, len(members), intra_bw)
+                )
                 combine_done[name] = env.now
                 if self.trace is not None:
                     self.trace.record(env.now, "combine_done", cluster=name)
@@ -346,9 +420,18 @@ class CloudBurstSimulation:
                 if self.trace is not None:
                     self.trace.record(env.now, "merge_done", cluster=name)
 
-            def cluster_proc_sync(name=name, site=site, crew=crew, intra_bw=intra_bw):
+            def cluster_proc_sync(
+                name=name, site=site, crew=crew, intra_bw=intra_bw,
+                burst_=burst if site == CLOUD_SITE else None,
+            ):
                 procs = [env.process(s.run(), name=f"slave:{s.worker_id}") for s in crew]
+                dynamics = burst_.launch() if burst_ is not None else []
                 yield env.all_of(procs)
+                if burst_ is not None:
+                    burst_.close()
+                    yield env.all_of(dynamics)
+                    burst_.finalize(env.now)
+                members = crew if burst_ is None else crew + burst_.started
                 processing_end[name] = env.now
                 # Streaming flushes fold slave partials during compute, so
                 # only the final watermark's worth of merging remains once
@@ -357,7 +440,7 @@ class CloudBurstSimulation:
                     yield env.timeout(compute.merge_seconds(robj_bytes))
                 else:
                     yield env.timeout(
-                        compute.combine_seconds(robj_bytes, len(crew), intra_bw)
+                        compute.combine_seconds(robj_bytes, len(members), intra_bw)
                     )
                 combine_done[name] = env.now
                 if self.trace is not None:
@@ -469,6 +552,16 @@ class CloudBurstSimulation:
         env.run(done)
         env.run()  # drain stragglers (acks in flight)
 
+        if burst is not None:
+            # Fold the dynamic slaves into the cloud crew so the report's
+            # jobs-processed invariant and per-cluster means account for
+            # every worker that actually ran, and copy the scaling ledger.
+            cloud_name = f"{CLOUD_SITE}-cluster"
+            slaves[cloud_name] = slaves[cloud_name] + burst.started
+            self.slaves_added = burst.slaves_added
+            self.slaves_revoked = burst.slaves_revoked
+            self.dollars_spent = burst.dollars_spent
+
         report = self._report(
             env, scheduler, masters, slaves,
             processing_end, combine_done, robj_arrival, merged_at,
@@ -477,6 +570,9 @@ class CloudBurstSimulation:
             report.cache_hits = cache.stats.hits - cache_before[0]
             report.cache_misses = cache.stats.misses - cache_before[1]
         report.faults_injected = self.faults_injected
+        report.slaves_added = self.slaves_added
+        report.slaves_revoked = self.slaves_revoked
+        report.dollars_spent = self.dollars_spent
         return report
 
     # -- reporting ---------------------------------------------------------------

@@ -35,8 +35,9 @@ from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
 from repro.runtime.driver import CloudBurstingRuntime
 from repro.storage.objectstore import ObjectStore
 
-#: CI sweeps this (see the `faults` job): 0.0, 0.05, 0.2.
+#: CI sweeps these (see the `faults` job): 0.0, 0.05, 0.2.
 FAULT_RATE = float(os.environ.get("REPRO_FAULT_RATE", "0.1"))
+REVOKE_RATE = float(os.environ.get("REPRO_REVOKE_RATE", "0.05"))
 
 DATASET = DatasetSpec(
     total_bytes=4096 * 8, num_files=4, chunk_bytes=256 * 8, record_bytes=8
@@ -183,6 +184,47 @@ def test_crash_recovery_telemetry_matches_injected_failures():
     # in-flight one only ever completes on a survivor.
     completed_by_victim = len(victim_jobs) - 1
     assert telemetry.total_jobs == index.num_chunks + completed_by_victim
+
+
+def test_spot_revocation_sweep_is_bit_identical_and_accounted():
+    """Satellite: spot revocations ride the same recovery rails as
+    crashes. At any swept ``REPRO_REVOKE_RATE`` the result matches the
+    serial oracle bit for bit, every revocation is traced, and the
+    ledger separates ``slaves_revoked`` from generic ``slaves_failed``.
+    """
+    from repro.options import ScaleOptions
+
+    # 128 jobs: at every swept rate the seeded schedule fires well inside
+    # each cloud slave's job share, however the scheduler interleaves.
+    bundle, index, stores = materialize(
+        dataset=DatasetSpec(
+            total_bytes=32768 * 8, num_files=4, chunk_bytes=256 * 8,
+            record_bytes=8,
+        )
+    )
+    oracle = run_serial(bundle.app, DatasetReader(index, stores).read_all_chunks())
+
+    trace = EventLog()
+    runtime = CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=2, cloud_cores=2),
+        scale=ScaleOptions(revocation=f"rate={REVOKE_RATE},seed=11"),
+        trace=trace, join_timeout=60.0,
+    )
+    result = runtime.run()
+    np.testing.assert_array_equal(result.value, oracle)
+
+    telemetry = result.telemetry
+    assert telemetry.slaves_failed == 0
+    assert telemetry.slaves_revoked == len(trace.of_kind("revocation"))
+    if REVOKE_RATE > 0:
+        # One of the two cloud slaves hits its seeded revocation ordinal;
+        # the survivor is protected by the revoker's keep-one floor.
+        assert telemetry.slaves_revoked == 1
+        assert telemetry.jobs_reexecuted > 0
+    else:
+        assert telemetry.slaves_revoked == 0
+        assert telemetry.jobs_reexecuted == 0
 
 
 def test_permanent_faults_fail_fast_through_retry_layer():

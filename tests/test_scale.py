@@ -1,0 +1,384 @@
+"""Unit and end-to-end tests for the elastic-bursting subsystem.
+
+Covers the vocabulary (:class:`~repro.scale.ScaleDecision`,
+:class:`~repro.options.ScaleOptions`, :class:`~repro.scale.RevocationSpec`),
+the pure :class:`~repro.scale.Autoscaler` decision table, the
+:class:`~repro.scale.SpotRevoker` fault hook, and the real runtime's
+dynamic attach/detach/revocation path — chaos in, bit-identical results
+out, every slave accounted for. The hypothesis invariant battery lives
+in ``test_scale_property.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RunConfig, run
+from repro.apps import make_bundle
+from repro.config import (
+    CLOUD_SITE,
+    LOCAL_SITE,
+    ComputeSpec,
+    DatasetSpec,
+    PlacementSpec,
+)
+from repro.core.api import run_serial
+from repro.data.dataset import DatasetReader, build_dataset
+from repro.errors import ConfigurationError, SpotRevocation
+from repro.obs.events import EventLog
+from repro.options import ScaleOptions
+from repro.runtime.driver import CloudBurstingRuntime
+from repro.scale import Autoscaler, RevocationSpec, ScaleDecision, SpotRevoker
+from repro.storage.objectstore import ObjectStore
+
+DATASET = DatasetSpec(
+    total_bytes=32768 * 8, num_files=4, chunk_bytes=256 * 8, record_bytes=8
+)
+
+
+def materialize(app_key="histogram", dataset=DATASET, **params):
+    bundle = make_bundle(app_key, dataset.total_units, seed=2011, **params)
+    stores = {LOCAL_SITE: ObjectStore(), CLOUD_SITE: ObjectStore()}
+    index = build_dataset(
+        dataset, PlacementSpec(0.5), bundle.schema, bundle.block_fn, stores
+    )
+    return bundle, index, stores
+
+
+def sample(**overrides):
+    """A minimal RunSample-shaped namespace for driving the controller."""
+    from repro.obs.live import _derive
+
+    raw = {
+        "jobs_total": 100,
+        "jobs_done": 10,
+        "pool_depth": 50,
+        "in_flight": 4,
+        "workers": 4,
+        "workers_busy": 4,
+    }
+    time = overrides.pop("time", 10.0)
+    raw.update(overrides)
+    return _derive(raw, time)
+
+
+# -- vocabulary --------------------------------------------------------------
+
+
+def test_scale_decision_validation():
+    assert ScaleDecision("none").count == 0
+    assert ScaleDecision("add", 2).count == 2
+    with pytest.raises(ConfigurationError, match="unknown scale action"):
+        ScaleDecision("explode", 1)
+    with pytest.raises(ConfigurationError, match="cannot carry a count"):
+        ScaleDecision("none", 3)
+    with pytest.raises(ConfigurationError, match="positive count"):
+        ScaleDecision("remove", 0)
+
+
+def test_scale_options_validation_and_enabled():
+    assert not ScaleOptions().enabled
+    assert ScaleOptions(autoscale=True).enabled
+    assert ScaleOptions(revocation="rate=0.1").enabled
+    # An inert revocation spec does not enable the machinery.
+    assert not ScaleOptions(revocation="rate=0").enabled
+    # The string form is normalized to the parsed spec.
+    opts = ScaleOptions(revocation="rate=0.05,seed=7,provision=30")
+    assert opts.revocation == RevocationSpec(
+        rate=0.05, seed=7, provision_seconds=30.0
+    )
+    for bad in (
+        dict(min_slaves=0),
+        dict(min_slaves=4, max_slaves=2),
+        dict(deadline=0),
+        dict(budget=-1),
+        dict(interval=0),
+        dict(damping=-0.5),
+        dict(dollars_per_slave_hour=-1),
+    ):
+        with pytest.raises(ConfigurationError):
+            ScaleOptions(**bad)
+
+
+def test_revocation_spec_parse_grammar():
+    spec = RevocationSpec.parse("rate=0.2, seed=13, provision=2.5")
+    assert spec == RevocationSpec(rate=0.2, seed=13, provision_seconds=2.5)
+    assert RevocationSpec.parse("").rate == 0.0
+    assert RevocationSpec.parse(spec.describe()) == spec
+    with pytest.raises(ConfigurationError, match="expected key=value"):
+        RevocationSpec.parse("rate")
+    with pytest.raises(ConfigurationError, match="bad rate"):
+        RevocationSpec.parse("rate=lots")
+    with pytest.raises(ConfigurationError, match="seed must be an integer"):
+        RevocationSpec.parse("seed=x")
+    with pytest.raises(ConfigurationError, match="unknown revocation clause"):
+        RevocationSpec.parse("chaos=1")
+    with pytest.raises(ConfigurationError, match="must be in"):
+        RevocationSpec(rate=1.5)
+
+
+def test_revocation_draw_is_pure_and_seeded():
+    spec = RevocationSpec(rate=0.3, seed=42)
+    schedule = [(s, j) for s in range(4) for j in range(50) if spec.draw(s, j)]
+    assert schedule  # 30% over 200 draws revokes someone
+    assert schedule == [
+        (s, j) for s in range(4) for j in range(50) if spec.draw(s, j)
+    ]
+    # A different seed gives a different schedule; rate 0 gives none.
+    other = RevocationSpec(rate=0.3, seed=43)
+    assert schedule != [
+        (s, j) for s in range(4) for j in range(50) if other.draw(s, j)
+    ]
+    assert not any(
+        RevocationSpec(rate=0.0).draw(s, j) for s in range(4) for j in range(50)
+    )
+
+
+# -- the controller decision table -------------------------------------------
+
+
+def test_bound_repairs_bypass_damping():
+    ctl = Autoscaler(min_slaves=2, max_slaves=4, damping=100.0)
+    # Force a recent opposite action so damping would normally suppress.
+    ctl.observe(sample(time=1.0, pool_depth=5, workers_busy=4), 3)
+    d = ctl.observe(sample(time=1.1), 1)  # revocation pushed below floor
+    assert (d.action, d.count) == ("add", 1)
+    d = ctl.observe(sample(time=1.2), 6)
+    assert (d.action, d.count) == ("remove", 2)
+
+
+def test_controller_idles_without_signal():
+    ctl = Autoscaler()
+    assert ctl.observe(sample(jobs_done=100), 2).reason == "run complete"
+    assert "no completion-rate signal" in ctl.observe(
+        sample(time=0.0, jobs_done=0), 2
+    ).reason
+
+
+def test_deadline_pressure_adds_and_comfort_removes():
+    ctl = Autoscaler(min_slaves=1, max_slaves=4, deadline=20.0, damping=0.0)
+    # 10 done in 10s -> eta 90s, 10s left: add.
+    d = ctl.observe(sample(time=10.0, jobs_done=10), 2)
+    assert (d.action, d.count) == ("add", 1)
+    # 90 done in 10s -> eta ~1.1s, 10s left: comfortably ahead, release.
+    ctl2 = Autoscaler(min_slaves=1, max_slaves=4, deadline=20.0, damping=0.0)
+    d = ctl2.observe(sample(time=10.0, jobs_done=90), 2)
+    assert (d.action, d.count) == ("remove", 1)
+    # On track (eta between 0.5x and 1x of remaining): steady.
+    ctl3 = Autoscaler(min_slaves=1, max_slaves=4, deadline=20.0, damping=0.0)
+    d = ctl3.observe(sample(time=10.0, jobs_done=60), 2)
+    assert d.action == "none"
+
+
+def test_deadline_add_respects_backlog_cap_and_budget():
+    # No backlog beyond the fleet: adding buys nothing.
+    ctl = Autoscaler(deadline=20.0, damping=0.0)
+    d = ctl.observe(sample(time=10.0, jobs_done=10, pool_depth=0, in_flight=2), 2)
+    assert d.action == "none" and "cannot add" in d.reason
+    # At the cap: no add.
+    ctl = Autoscaler(max_slaves=2, deadline=20.0, damping=0.0)
+    assert ctl.observe(sample(time=10.0, jobs_done=10), 2).action == "none"
+    # Unaffordable projection: no add.
+    ctl = Autoscaler(deadline=20.0, budget=1e-9, damping=0.0)
+    d = ctl.observe(sample(time=10.0, jobs_done=10), 1)
+    assert d.action == "none"
+
+
+def test_budget_high_water_sheds_to_floor():
+    ctl = Autoscaler(min_slaves=1, max_slaves=8, budget=1.0, damping=0.0)
+    ctl.dollars_spent = 0.95  # past the 0.9 high-water mark
+    d = ctl.observe(sample(time=10.0, jobs_done=10), 5)
+    assert (d.action, d.count) == ("remove", 4)
+    assert "pegging to floor" in d.reason
+
+
+def test_budget_only_mode_buys_throughput_within_projection():
+    ctl = Autoscaler(budget=100.0, damping=0.0)
+    d = ctl.observe(sample(time=10.0, jobs_done=10, pool_depth=9), 2)
+    assert (d.action, d.count) == ("add", 1)
+    # Empty backlog: steady.
+    ctl2 = Autoscaler(budget=100.0, damping=0.0)
+    d = ctl2.observe(sample(time=10.0, jobs_done=10, pool_depth=0), 2)
+    assert d.action == "none"
+
+
+def test_pure_load_mode_tracks_backlog_and_idleness():
+    ctl = Autoscaler(damping=0.0)
+    d = ctl.observe(
+        sample(time=10.0, jobs_done=10, pool_depth=9, workers_busy=4), 2
+    )
+    assert (d.action, d.count) == ("add", 1)
+    d = ctl.observe(
+        sample(time=20.0, jobs_done=20, pool_depth=0, workers_busy=1), 3
+    )
+    assert (d.action, d.count) == ("remove", 1)
+
+
+def test_damping_suppresses_reversal_but_not_repeat():
+    ctl = Autoscaler(deadline=20.0, damping=5.0)
+    d = ctl.observe(sample(time=10.0, jobs_done=10), 2)
+    assert d.action == "add"
+    # 1s later the run is suddenly ahead: the remove is damped...
+    d = ctl.observe(sample(time=11.0, jobs_done=99), 3)
+    assert d.action == "none" and "damped" in d.reason
+    # ...but a same-direction repeat inside the window is allowed.
+    d = ctl.observe(sample(time=12.0, jobs_done=12), 3)
+    assert d.action == "add"
+    # After the window the reversal goes through.
+    d = ctl.observe(sample(time=18.0, jobs_done=99), 3)
+    assert d.action == "remove"
+
+
+def test_cost_accrual_integrates_fleet_seconds():
+    ctl = Autoscaler(dollars_per_slave_hour=3600.0)  # $1 per slave-second
+    ctl.observe(sample(time=0.0, jobs_done=0), 2)
+    ctl.observe(sample(time=10.0), 2)  # 2 slaves x 10s = $20
+    ctl.observe(sample(time=15.0), 4)  # 4 slaves x 5s = $20
+    assert ctl.dollars_spent == pytest.approx(40.0)
+    assert ctl.finalize(20.0, 1) == pytest.approx(45.0)
+    # Time never runs backward through the ledger.
+    ctl.finalize(15.0, 100)
+    assert ctl.dollars_spent == pytest.approx(45.0)
+    assert ctl.projected_spend(2, 10.0) == pytest.approx(45.0 + 20.0)
+
+
+def test_controller_config_validation():
+    for bad in (
+        dict(min_slaves=0),
+        dict(min_slaves=3, max_slaves=1),
+        dict(deadline=-1),
+        dict(budget=0),
+        dict(damping=-1),
+        dict(dollars_per_slave_hour=-0.1),
+    ):
+        with pytest.raises(ConfigurationError):
+            Autoscaler(**bad)
+
+
+# -- the revoker hook --------------------------------------------------------
+
+
+class _Job:
+    def __init__(self, job_id):
+        self.job_id = job_id
+
+
+def test_revoker_raises_once_per_victim_and_keeps_a_floor():
+    trace = EventLog()
+    revoker = SpotRevoker(RevocationSpec(rate=1.0, seed=1), trace=trace)
+    revoker.admit(0)
+    revoker.admit(1)
+    with pytest.raises(SpotRevocation):
+        revoker.hook(0, _Job(7))
+    # The victim is gone; further jobs on its id are ignored.
+    revoker.hook(0, _Job(8))
+    # rate=1.0 would revoke slave 1 too, but it is the last survivor.
+    revoker.hook(1, _Job(9))
+    assert revoker.revoked == 1
+    events = trace.of_kind("revocation")
+    assert len(events) == 1 and events[0].worker == 0
+    assert "job 7" in events[0].detail
+
+
+def test_revoker_retire_stops_tracking():
+    revoker = SpotRevoker(RevocationSpec(rate=1.0, seed=1))
+    revoker.admit(0)
+    revoker.admit(1)
+    revoker.retire(0)
+    revoker.hook(0, _Job(1))  # retired: no roll, no raise
+    assert revoker.revoked == 0
+
+
+# -- end-to-end: the real runtime --------------------------------------------
+
+
+def _scaled_runtime(scale, *, trace=None, seed=2011):
+    bundle, index, stores = materialize()
+    runtime = CloudBurstingRuntime(
+        bundle.app, index, stores,
+        ComputeSpec(local_cores=2, cloud_cores=2),
+        scale=scale, trace=trace, seed=seed, join_timeout=60.0,
+    )
+    return bundle, index, stores, runtime
+
+
+def test_autoscale_run_is_bit_identical_and_attaches_slaves():
+    scale = ScaleOptions(
+        autoscale=True, budget=50.0, max_slaves=4, interval=0.01
+    )
+    trace = EventLog()
+    bundle, index, stores, runtime = _scaled_runtime(scale, trace=trace)
+    oracle = run_serial(bundle.app, DatasetReader(index, stores).read_all_chunks())
+    result = runtime.run()
+    np.testing.assert_array_equal(result.value, oracle)
+    t = result.telemetry
+    assert t.slaves_added == len(trace.of_kind("provision"))
+    assert t.dollars_spent >= 0.0
+    assert len(trace.of_kind("scale_up")) >= t.slaves_added
+
+
+def test_revocation_run_is_bit_identical_and_accounted():
+    scale = ScaleOptions(revocation="rate=0.15,seed=5")
+    trace = EventLog()
+    bundle, index, stores, runtime = _scaled_runtime(scale, trace=trace)
+    oracle = run_serial(bundle.app, DatasetReader(index, stores).read_all_chunks())
+    result = runtime.run()
+    np.testing.assert_array_equal(result.value, oracle)
+    t = result.telemetry
+    assert t.slaves_revoked == len(trace.of_kind("revocation"))
+    # Revocations are spot events, not generic failures, in the ledger.
+    assert t.slaves_failed == 0
+    # Exactly one of the two cloud slaves hits its seeded ordinal; the
+    # keep-one floor then protects the survivor.
+    assert t.slaves_revoked == 1
+    assert t.jobs_reexecuted > 0
+
+
+def test_revocation_telemetry_is_deterministic():
+    def one_run():
+        scale = ScaleOptions(revocation="rate=0.3,seed=9")
+        _, _, _, runtime = _scaled_runtime(scale)
+        result = runtime.run()
+        return (
+            result.telemetry.slaves_revoked,
+            np.asarray(result.value).tobytes(),
+        )
+
+    first = one_run()
+    assert first == one_run()
+    # Which slave falls first is a scheduling race, but the count is not:
+    # one revocation, then the keep-one floor holds.
+    assert first[0] == 1
+
+
+def test_facade_scale_validation_rules():
+    scale = ScaleOptions(autoscale=True)
+    with pytest.raises(ConfigurationError, match="serial mode has no slaves"):
+        RunConfig(mode="serial", scale=scale).validate()
+    with pytest.raises(ConfigurationError, match="cloud_cores"):
+        RunConfig(
+            mode="runtime", scale=scale,
+            compute=ComputeSpec(local_cores=2, cloud_cores=0),
+        ).validate()
+    with pytest.raises(ConfigurationError, match="autoscaler targets"):
+        RunConfig(
+            mode="runtime", scale=ScaleOptions(deadline=10.0)
+        ).validate()
+
+
+def test_facade_simulate_autoscale_reports_fleet_changes():
+    config = RunConfig(
+        mode="simulate",
+        scale=ScaleOptions(autoscale=True, budget=50.0, max_slaves=6,
+                           interval=0.2),
+        seed=2011,
+    )
+    big = DatasetSpec(
+        total_bytes=131072 * 8, num_files=8, chunk_bytes=512 * 8, record_bytes=8
+    )
+    result = run("histogram", big, config)
+    again = run("histogram", big, config)
+    assert result.sim_report.slaves_added > 0
+    assert result.sim_report.slaves_added == again.sim_report.slaves_added
+    assert result.sim_report.dollars_spent == again.sim_report.dollars_spent

@@ -375,3 +375,56 @@ def test_stats_snapshot_shape():
     assert stats["tenants"]["t"]["queued"] == 1
     service.shutdown()
     assert service.stats()["stopped"] is True
+
+
+# -- the journal on disk ------------------------------------------------------
+
+
+def test_journal_corruption_reports_path_not_traceback(tmp_path):
+    """A journal overwritten with garbage — textual or binary — surfaces
+    as a ServiceError naming the file, never a raw decode traceback."""
+    from repro.service import ServiceJournal
+
+    path = tmp_path / "state.json"
+    path.write_text("{not json", encoding="utf-8")
+    journal = ServiceJournal(str(path))
+    with pytest.raises(ServiceError, match="not valid JSON") as excinfo:
+        journal.read()
+    assert str(path) in str(excinfo.value)
+
+    path.write_bytes(b"\xff\xfe\x00garbage\x80")  # invalid UTF-8
+    with pytest.raises(ServiceError, match="not valid JSON") as excinfo:
+        journal.read()
+    assert str(path) in str(excinfo.value)
+
+    path.write_text("[1, 2, 3]", encoding="utf-8")  # valid JSON, wrong shape
+    with pytest.raises(ServiceError, match="must hold a JSON object"):
+        journal.read()
+
+
+# -- per-tenant scaling quotas ------------------------------------------------
+
+
+def test_tenant_cloud_quota_clamps_scale_options():
+    """A tenant's ``max_cloud_slaves`` caps how far its runs may burst:
+    the dispatched config's ScaleOptions is clamped to the quota (both
+    bounds), while unquota'd tenants run their config untouched."""
+    from repro.options import ScaleOptions
+
+    config = RunConfig(
+        mode="runtime",
+        scale=ScaleOptions(autoscale=True, min_slaves=3, max_slaves=8,
+                           budget=5.0),
+    )
+    service = JobService()
+    service.register(TenantSpec("capped", max_cloud_slaves=2))
+    capped = service.submit("histogram", DATASET, config, tenant="capped")
+    free = service.submit("histogram", DATASET, config, tenant="free")
+    eff = service._exec_config(service._runs[capped.run_id])
+    assert (eff.scale.max_slaves, eff.scale.min_slaves) == (2, 2)
+    assert service._exec_config(service._runs[free.run_id]).scale.max_slaves == 8
+    # The submitted config object itself is never mutated.
+    assert config.scale.max_slaves == 8
+    service.shutdown()
+    with pytest.raises(ServiceError, match="max_cloud_slaves"):
+        TenantSpec("bad", max_cloud_slaves=0)
